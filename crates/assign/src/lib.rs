@@ -1,0 +1,28 @@
+//! # datawa-assign
+//!
+//! Task assignment for DATA-WA (§IV of the paper): reachable-task computation,
+//! maximal valid task sequence generation, the worker dependency graph and its
+//! separation into a cluster tree (via `datawa-graph`), the exact DFSearch of
+//! Algorithm 1, the Task Value Function trained by Q-learning on DFSearch
+//! samples (Eq. 11–12), the TVF-guided search of Algorithm 2, the Task
+//! Planning Assignment of Algorithm 4 and the streaming adaptive algorithm of
+//! Algorithm 3.
+//!
+//! The five evaluated methods (Greedy, FTA, DTA, DTA+TP, DATA-WA, §V-B.2) are
+//! exposed as [`PolicyKind`] variants interpreted by the adaptive runner.
+
+pub mod adaptive;
+pub mod config;
+pub mod planner;
+pub mod reachable;
+pub mod search;
+pub mod sequences;
+pub mod tvf;
+
+pub use adaptive::{AdaptiveRunner, ArrivalEvent, PolicyKind, PredictedTaskInput, RunOutcome};
+pub use config::AssignConfig;
+pub use planner::{Planner, PlanningReport, SearchMode};
+pub use reachable::{build_worker_dependency_graph, reachable_tasks, ReachableSets};
+pub use search::{DfSearch, SearchSample};
+pub use sequences::{generate_sequences, SequenceSet};
+pub use tvf::{ActionFeatures, StateFeatures, TaskValueFunction};

@@ -1,0 +1,280 @@
+//! Task Planning Assignment (TPA, Algorithm 4).
+//!
+//! The planner wires the whole §IV pipeline together for one planning
+//! instant: reachable tasks → candidate sequences → worker dependency graph →
+//! graph partition and recursive tree construction → exact or TVF-guided
+//! depth-first search, per connected component.
+
+use crate::config::AssignConfig;
+use crate::reachable::{build_worker_dependency_graph, reachable_tasks};
+use crate::search::{DfSearch, SearchSample};
+use crate::sequences::{generate_sequences, SequenceSet};
+use crate::tvf::TaskValueFunction;
+use datawa_core::{Assignment, TaskId, TaskStore, Timestamp, WorkerId, WorkerStore};
+use datawa_graph::{ClusterTree, TreeNode, UnGraph};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Diagnostics of one planning call.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanningReport {
+    /// Wall-clock planning time, in seconds.
+    pub elapsed_seconds: f64,
+    /// Number of workers that took part in planning.
+    pub workers_considered: usize,
+    /// Number of candidate tasks (current + predicted) that took part.
+    pub tasks_considered: usize,
+    /// Number of cluster-tree nodes built across all components.
+    pub tree_nodes: usize,
+    /// Average reachable tasks per worker.
+    pub mean_reachable: f64,
+}
+
+/// How the planner searches each cluster tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Greedy baseline (no dependency separation, no search).
+    Greedy,
+    /// Exact DFSearch (Algorithm 1).
+    Exact,
+    /// TVF-guided search (Algorithm 2); requires a trained TVF.
+    Guided,
+}
+
+/// The TPA planner.
+pub struct Planner {
+    /// Shared configuration.
+    pub config: AssignConfig,
+    /// Search mode.
+    pub mode: SearchMode,
+    /// Trained task value function (required for [`SearchMode::Guided`]).
+    pub tvf: Option<TaskValueFunction>,
+}
+
+impl Planner {
+    /// Creates a planner with the given mode.
+    pub fn new(config: AssignConfig, mode: SearchMode) -> Planner {
+        Planner {
+            config,
+            mode,
+            tvf: None,
+        }
+    }
+
+    /// Attaches a trained TVF (used by [`SearchMode::Guided`]).
+    pub fn with_tvf(mut self, tvf: TaskValueFunction) -> Planner {
+        self.tvf = Some(tvf);
+        self
+    }
+
+    /// Plans task sequences for `worker_ids` over `candidate_tasks` at `now`
+    /// (Algorithm 4), returning the assignment and planning diagnostics.
+    pub fn plan(
+        &self,
+        worker_ids: &[WorkerId],
+        candidate_tasks: &[TaskId],
+        workers: &WorkerStore,
+        tasks: &TaskStore,
+        now: Timestamp,
+    ) -> (Assignment, PlanningReport) {
+        let start = Instant::now();
+        let mut report = PlanningReport {
+            workers_considered: worker_ids.len(),
+            tasks_considered: candidate_tasks.len(),
+            ..PlanningReport::default()
+        };
+        if worker_ids.is_empty() || candidate_tasks.is_empty() {
+            report.elapsed_seconds = start.elapsed().as_secs_f64();
+            return (Assignment::new(), report);
+        }
+        // Lines 2–5: reachable tasks and candidate sequences per worker.
+        let reachable = reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &self.config, now);
+        report.mean_reachable = reachable.mean_reachable();
+        let mut sequences: HashMap<WorkerId, SequenceSet> = HashMap::with_capacity(worker_ids.len());
+        for &w in worker_ids {
+            sequences.insert(
+                w,
+                generate_sequences(workers.get(w), reachable.of(w), tasks, &self.config, now),
+            );
+        }
+        let search = DfSearch::new(workers, tasks, &self.config, now, &sequences, &reachable);
+        let mut available: HashSet<TaskId> = candidate_tasks.iter().copied().collect();
+        let assignment = match self.mode {
+            SearchMode::Greedy => search.greedy(worker_ids, &mut available),
+            SearchMode::Exact | SearchMode::Guided => {
+                // Line 6: worker dependency graph; lines 7–10: per component,
+                // partition, build the tree, and search it.
+                let (graph, mapping) = build_worker_dependency_graph(worker_ids, &reachable);
+                let tree = self.build_tree(&graph);
+                report.tree_nodes = tree.len();
+                match self.mode {
+                    SearchMode::Exact => search.exact(&tree, &mapping, &mut available, None),
+                    SearchMode::Guided => {
+                        let tvf = self
+                            .tvf
+                            .as_ref()
+                            .expect("SearchMode::Guided requires a trained TVF");
+                        search.guided(&tree, &mapping, &mut available, tvf)
+                    }
+                    SearchMode::Greedy => unreachable!(),
+                }
+            }
+        };
+        report.elapsed_seconds = start.elapsed().as_secs_f64();
+        (assignment, report)
+    }
+
+    /// Runs the exact search while collecting `(state, action, opt)` samples
+    /// for TVF training (the data-gathering phase of §IV-B).
+    pub fn collect_training_samples(
+        &self,
+        worker_ids: &[WorkerId],
+        candidate_tasks: &[TaskId],
+        workers: &WorkerStore,
+        tasks: &TaskStore,
+        now: Timestamp,
+    ) -> Vec<SearchSample> {
+        if worker_ids.is_empty() || candidate_tasks.is_empty() {
+            return Vec::new();
+        }
+        let reachable = reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &self.config, now);
+        let mut sequences: HashMap<WorkerId, SequenceSet> = HashMap::with_capacity(worker_ids.len());
+        for &w in worker_ids {
+            sequences.insert(
+                w,
+                generate_sequences(workers.get(w), reachable.of(w), tasks, &self.config, now),
+            );
+        }
+        let search = DfSearch::new(workers, tasks, &self.config, now, &sequences, &reachable);
+        let (graph, mapping) = build_worker_dependency_graph(worker_ids, &reachable);
+        let tree = self.build_tree(&graph);
+        let mut available: HashSet<TaskId> = candidate_tasks.iter().copied().collect();
+        let mut samples = Vec::new();
+        let _ = search.exact(&tree, &mapping, &mut available, Some(&mut samples));
+        samples
+    }
+
+    /// Builds the cluster tree, honouring the ablation switch: with dependency
+    /// separation disabled, every connected component becomes a single flat
+    /// tree node (no search-space reduction).
+    fn build_tree(&self, graph: &UnGraph) -> ClusterTree {
+        if self.config.use_dependency_separation {
+            ClusterTree::build(graph)
+        } else {
+            let mut tree = ClusterTree::default();
+            for component in graph.connected_components() {
+                let index = tree.nodes.len();
+                tree.nodes.push(TreeNode {
+                    members: component,
+                    children: Vec::new(),
+                });
+                tree.roots.push(index);
+            }
+            tree
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datawa_core::{Location, Task, Worker};
+
+    fn scenario(n_workers: usize, n_tasks: usize) -> (WorkerStore, TaskStore) {
+        let mut workers = WorkerStore::new();
+        for i in 0..n_workers {
+            workers.insert(Worker::new(
+                WorkerId(0),
+                Location::new(i as f64 * 2.0, 0.0),
+                5.0,
+                Timestamp(0.0),
+                Timestamp(200.0),
+            ));
+        }
+        let mut tasks = TaskStore::new();
+        for j in 0..n_tasks {
+            tasks.insert(Task::new(
+                TaskId(0),
+                Location::new(j as f64 * 1.0, 1.0),
+                Timestamp(0.0),
+                Timestamp(150.0),
+            ));
+        }
+        (workers, tasks)
+    }
+
+    #[test]
+    fn exact_planner_produces_a_feasible_assignment() {
+        let (workers, tasks) = scenario(4, 8);
+        let planner = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
+        let wids: Vec<WorkerId> = workers.ids().collect();
+        let tids: Vec<TaskId> = tasks.ids().collect();
+        let (assignment, report) = planner.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
+        assert!(assignment.assigned_count() > 0);
+        assert!(assignment
+            .validate(&workers, &tasks, &planner.config.travel, Timestamp(0.0))
+            .is_empty());
+        assert!(report.elapsed_seconds >= 0.0);
+        assert!(report.tree_nodes >= 1);
+        assert_eq!(report.workers_considered, 4);
+    }
+
+    #[test]
+    fn exact_assigns_at_least_as_many_as_greedy() {
+        let (workers, tasks) = scenario(5, 10);
+        let wids: Vec<WorkerId> = workers.ids().collect();
+        let tids: Vec<TaskId> = tasks.ids().collect();
+        let exact = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
+        let greedy = Planner::new(AssignConfig::unit_speed(), SearchMode::Greedy);
+        let (a_exact, _) = exact.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
+        let (a_greedy, _) = greedy.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
+        assert!(a_exact.assigned_count() >= a_greedy.assigned_count());
+    }
+
+    #[test]
+    fn guided_planner_matches_feasibility_with_a_trained_tvf() {
+        let (workers, tasks) = scenario(4, 8);
+        let wids: Vec<WorkerId> = workers.ids().collect();
+        let tids: Vec<TaskId> = tasks.ids().collect();
+        let collector = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
+        let samples = collector.collect_training_samples(&wids, &tids, &workers, &tasks, Timestamp(0.0));
+        assert!(!samples.is_empty());
+        let mut tvf = TaskValueFunction::new(16, 0);
+        let tuples: Vec<_> = samples.iter().map(|s| (s.state, s.action, s.opt)).collect();
+        tvf.train(&tuples, 60, 16, 0.01, 0);
+        let guided = Planner::new(AssignConfig::unit_speed(), SearchMode::Guided).with_tvf(tvf);
+        let (assignment, _) = guided.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
+        assert!(assignment
+            .validate(&workers, &tasks, &guided.config.travel, Timestamp(0.0))
+            .is_empty());
+        assert!(assignment.assigned_count() > 0);
+    }
+
+    #[test]
+    fn disabling_dependency_separation_still_plans_feasibly() {
+        let (workers, tasks) = scenario(4, 6);
+        let mut config = AssignConfig::unit_speed();
+        config.use_dependency_separation = false;
+        let planner = Planner::new(config, SearchMode::Exact);
+        let wids: Vec<WorkerId> = workers.ids().collect();
+        let tids: Vec<TaskId> = tasks.ids().collect();
+        let (assignment, report) = planner.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
+        assert!(assignment
+            .validate(&workers, &tasks, &config.travel, Timestamp(0.0))
+            .is_empty());
+        // One flat node per connected component.
+        assert!(report.tree_nodes >= 1);
+    }
+
+    #[test]
+    fn empty_inputs_plan_nothing() {
+        let (workers, tasks) = scenario(2, 2);
+        let planner = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
+        let (a, r) = planner.plan(&[], &[], &workers, &tasks, Timestamp(0.0));
+        assert!(a.is_empty());
+        assert_eq!(r.tasks_considered, 0);
+        assert!(planner
+            .collect_training_samples(&[], &[], &workers, &tasks, Timestamp(0.0))
+            .is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Reachable tasks (§IV-A.1) and the Worker Dependency Graph (§IV-A.2).
+
+use crate::config::AssignConfig;
+use datawa_core::{TaskId, TaskStore, Timestamp, WorkerId, WorkerStore};
+use datawa_graph::UnGraph;
+use std::collections::{BTreeSet, HashMap};
+
+/// The reachable task sets `RS_w` of a group of workers at one planning
+/// instant.
+#[derive(Debug, Clone, Default)]
+pub struct ReachableSets {
+    /// `RS_w` per worker, nearest-first, capped at
+    /// [`AssignConfig::max_reachable_per_worker`].
+    pub per_worker: HashMap<WorkerId, Vec<TaskId>>,
+}
+
+impl ReachableSets {
+    /// Reachable tasks of `worker` (empty slice when none).
+    pub fn of(&self, worker: WorkerId) -> &[TaskId] {
+        self.per_worker.get(&worker).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of (worker, task) reachability pairs.
+    pub fn pair_count(&self) -> usize {
+        self.per_worker.values().map(Vec::len).sum()
+    }
+
+    /// Average number of reachable tasks per worker (the paper's `|RS|`).
+    pub fn mean_reachable(&self) -> f64 {
+        if self.per_worker.is_empty() {
+            0.0
+        } else {
+            self.pair_count() as f64 / self.per_worker.len() as f64
+        }
+    }
+}
+
+/// Computes the reachable task set of every listed worker over the candidate
+/// tasks (§IV-A.1 constraints i–iii), nearest-first and capped by the config.
+pub fn reachable_tasks(
+    worker_ids: &[WorkerId],
+    candidate_tasks: &[TaskId],
+    workers: &WorkerStore,
+    tasks: &TaskStore,
+    config: &AssignConfig,
+    now: Timestamp,
+) -> ReachableSets {
+    let mut per_worker = HashMap::with_capacity(worker_ids.len());
+    for &wid in worker_ids {
+        let worker = workers.get(wid);
+        let mut reachable: Vec<(TaskId, f64)> = Vec::new();
+        for &tid in candidate_tasks {
+            let task = tasks.get(tid);
+            if task.is_expired_at(now) {
+                continue;
+            }
+            if worker.can_reach(task, &config.travel, now) {
+                let d = config.travel.travel_distance(&worker.location, &task.location);
+                reachable.push((tid, d));
+            }
+        }
+        reachable.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        reachable.truncate(config.max_reachable_per_worker);
+        per_worker.insert(wid, reachable.into_iter().map(|(t, _)| t).collect());
+    }
+    ReachableSets { per_worker }
+}
+
+/// Builds the Worker Dependency Graph: one node per listed worker, an edge
+/// between two workers whenever their reachable task sets intersect
+/// (§IV-A.2). Returns the graph together with the worker id carried by each
+/// node index.
+pub fn build_worker_dependency_graph(
+    worker_ids: &[WorkerId],
+    reachable: &ReachableSets,
+) -> (UnGraph, Vec<WorkerId>) {
+    let mut graph = UnGraph::new(worker_ids.len());
+    let sets: Vec<BTreeSet<TaskId>> = worker_ids
+        .iter()
+        .map(|w| reachable.of(*w).iter().copied().collect())
+        .collect();
+    for i in 0..worker_ids.len() {
+        for j in (i + 1)..worker_ids.len() {
+            if !sets[i].is_disjoint(&sets[j]) {
+                graph.add_edge(i, j);
+            }
+        }
+    }
+    (graph, worker_ids.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datawa_core::{Location, Task, Worker};
+
+    fn fixture() -> (WorkerStore, TaskStore, AssignConfig) {
+        let mut workers = WorkerStore::new();
+        // Two workers near the origin, one far away.
+        workers.insert(Worker::new(WorkerId(0), Location::new(0.0, 0.0), 2.0, Timestamp(0.0), Timestamp(100.0)));
+        workers.insert(Worker::new(WorkerId(0), Location::new(1.0, 0.0), 2.0, Timestamp(0.0), Timestamp(100.0)));
+        workers.insert(Worker::new(WorkerId(0), Location::new(50.0, 50.0), 2.0, Timestamp(0.0), Timestamp(100.0)));
+        let mut tasks = TaskStore::new();
+        tasks.insert(Task::new(TaskId(0), Location::new(0.5, 0.0), Timestamp(0.0), Timestamp(50.0)));
+        tasks.insert(Task::new(TaskId(0), Location::new(1.5, 0.0), Timestamp(0.0), Timestamp(50.0)));
+        tasks.insert(Task::new(TaskId(0), Location::new(51.0, 50.0), Timestamp(0.0), Timestamp(50.0)));
+        (workers, tasks, AssignConfig::unit_speed())
+    }
+
+    #[test]
+    fn reachable_respects_distance_and_sorts_nearest_first() {
+        let (workers, tasks, config) = fixture();
+        let wids: Vec<WorkerId> = workers.ids().collect();
+        let tids: Vec<TaskId> = tasks.ids().collect();
+        let rs = reachable_tasks(&wids, &tids, &workers, &tasks, &config, Timestamp(0.0));
+        assert_eq!(rs.of(WorkerId(0)), &[TaskId(0), TaskId(1)]);
+        assert_eq!(rs.of(WorkerId(1)), &[TaskId(0), TaskId(1)]);
+        assert_eq!(rs.of(WorkerId(2)), &[TaskId(2)]);
+        assert!((rs.mean_reachable() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_tasks_are_not_reachable() {
+        let (workers, tasks, config) = fixture();
+        let wids: Vec<WorkerId> = workers.ids().collect();
+        let tids: Vec<TaskId> = tasks.ids().collect();
+        let rs = reachable_tasks(&wids, &tids, &workers, &tasks, &config, Timestamp(60.0));
+        assert!(rs.of(WorkerId(0)).is_empty());
+        assert_eq!(rs.pair_count(), 0);
+    }
+
+    #[test]
+    fn cap_limits_the_reachable_set() {
+        let (workers, tasks, mut config) = fixture();
+        config.max_reachable_per_worker = 1;
+        let wids: Vec<WorkerId> = workers.ids().collect();
+        let tids: Vec<TaskId> = tasks.ids().collect();
+        let rs = reachable_tasks(&wids, &tids, &workers, &tasks, &config, Timestamp(0.0));
+        assert_eq!(rs.of(WorkerId(0)), &[TaskId(0)]); // nearest kept
+    }
+
+    #[test]
+    fn dependency_graph_links_workers_sharing_tasks() {
+        let (workers, tasks, config) = fixture();
+        let wids: Vec<WorkerId> = workers.ids().collect();
+        let tids: Vec<TaskId> = tasks.ids().collect();
+        let rs = reachable_tasks(&wids, &tids, &workers, &tasks, &config, Timestamp(0.0));
+        let (graph, mapping) = build_worker_dependency_graph(&wids, &rs);
+        assert_eq!(mapping.len(), 3);
+        assert!(graph.has_edge(0, 1), "workers 0 and 1 share tasks");
+        assert!(!graph.has_edge(0, 2));
+        assert!(!graph.has_edge(1, 2));
+        assert_eq!(graph.connected_components().len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_outputs() {
+        let (workers, tasks, config) = fixture();
+        let rs = reachable_tasks(&[], &[], &workers, &tasks, &config, Timestamp(0.0));
+        assert_eq!(rs.pair_count(), 0);
+        assert_eq!(rs.mean_reachable(), 0.0);
+        let (graph, mapping) = build_worker_dependency_graph(&[], &rs);
+        assert_eq!(graph.node_count(), 0);
+        assert!(mapping.is_empty());
+    }
+}

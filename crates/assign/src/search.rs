@@ -1,0 +1,502 @@
+//! DFSearch (Algorithm 1), the TVF-guided search (Algorithm 2) and the greedy
+//! baseline assignment.
+//!
+//! Both searches operate on one cluster tree produced by worker dependency
+//! separation. Because sibling subtrees are worker-independent (their
+//! reachable task sets do not intersect), the searches can consume a shared
+//! pool of available tasks sequentially without losing optimality.
+
+use crate::config::AssignConfig;
+use crate::reachable::ReachableSets;
+use crate::sequences::SequenceSet;
+use crate::tvf::{ActionFeatures, StateFeatures, TaskValueFunction};
+use datawa_core::{Assignment, TaskId, TaskSequence, TaskStore, Timestamp, WorkerId, WorkerStore};
+use datawa_graph::ClusterTree;
+use std::collections::{HashMap, HashSet};
+
+/// One `(state, action, reward)` sample collected during exact search, used to
+/// train the Task Value Function (Eq. 12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchSample {
+    /// State features at the moment the action was evaluated.
+    pub state: StateFeatures,
+    /// Action features (worker, sequence).
+    pub action: ActionFeatures,
+    /// The best cumulative reward observed from this state when taking the
+    /// action (the `opt` of Algorithm 1, line 11).
+    pub opt: f64,
+}
+
+/// Search context shared by the exact and TVF-guided searches.
+pub struct DfSearch<'a> {
+    workers: &'a WorkerStore,
+    tasks: &'a TaskStore,
+    config: &'a AssignConfig,
+    now: Timestamp,
+    sequences: &'a HashMap<WorkerId, SequenceSet>,
+    reachable: &'a ReachableSets,
+}
+
+impl<'a> DfSearch<'a> {
+    /// Creates a search context.
+    pub fn new(
+        workers: &'a WorkerStore,
+        tasks: &'a TaskStore,
+        config: &'a AssignConfig,
+        now: Timestamp,
+        sequences: &'a HashMap<WorkerId, SequenceSet>,
+        reachable: &'a ReachableSets,
+    ) -> DfSearch<'a> {
+        DfSearch {
+            workers,
+            tasks,
+            config,
+            now,
+            sequences,
+            reachable,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Exact search (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    /// Exact depth-first search over one cluster tree. `mapping[i]` is the
+    /// worker id of graph node `i`. When `samples` is provided, `(state,
+    /// action, opt)` tuples are appended for TVF training.
+    pub fn exact(
+        &self,
+        tree: &ClusterTree,
+        mapping: &[WorkerId],
+        available: &mut HashSet<TaskId>,
+        mut samples: Option<&mut Vec<SearchSample>>,
+    ) -> Assignment {
+        let mut assignment = Assignment::new();
+        for &root in &tree.roots {
+            let mut budget = self.config.search_node_budget;
+            let (_, plan) =
+                self.exact_node(tree, mapping, root, &self.node_workers(tree, mapping, root), available, &mut budget, &mut samples);
+            for (w, seq) in plan {
+                for t in seq.iter() {
+                    available.remove(&t);
+                }
+                assignment.set(w, seq);
+            }
+        }
+        assignment
+    }
+
+    fn node_workers(&self, tree: &ClusterTree, mapping: &[WorkerId], node: usize) -> Vec<WorkerId> {
+        tree.nodes[node].members.iter().map(|&i| mapping[i]).collect()
+    }
+
+    fn descendant_worker_count(&self, tree: &ClusterTree, node: usize) -> usize {
+        tree.nodes[node]
+            .children
+            .iter()
+            .map(|&c| tree.subtree_members(c).len())
+            .sum()
+    }
+
+    fn state_features(
+        &self,
+        pending: &[WorkerId],
+        descendant_workers: usize,
+        available: &HashSet<TaskId>,
+    ) -> StateFeatures {
+        let remaining_workers = pending.len() + descendant_workers;
+        let mean_reachable = if pending.is_empty() {
+            0.0
+        } else {
+            pending
+                .iter()
+                .map(|w| self.reachable.of(*w).len() as f64)
+                .sum::<f64>()
+                / pending.len() as f64
+        };
+        StateFeatures {
+            remaining_workers,
+            remaining_tasks: available.len(),
+            mean_reachable,
+        }
+    }
+
+    /// Recursive exact search on `node`. `pending` is the queue of this node's
+    /// workers not yet branched on. Returns the best count and the plan
+    /// achieving it. `available` is restored to its input state before
+    /// returning.
+    #[allow(clippy::too_many_arguments)]
+    fn exact_node(
+        &self,
+        tree: &ClusterTree,
+        mapping: &[WorkerId],
+        node: usize,
+        pending: &[WorkerId],
+        available: &mut HashSet<TaskId>,
+        budget: &mut usize,
+        samples: &mut Option<&mut Vec<SearchSample>>,
+    ) -> (usize, Vec<(WorkerId, TaskSequence)>) {
+        if *budget == 0 {
+            // Budget exhausted: finish this subtree greedily.
+            let mut remaining: Vec<WorkerId> = pending.to_vec();
+            for &child in &tree.nodes[node].children {
+                remaining.extend(
+                    tree.subtree_members(child)
+                        .into_iter()
+                        .map(|i| mapping[i]),
+                );
+            }
+            let plan = self.greedy_completion(&remaining, available);
+            let count = plan.iter().map(|(_, s)| s.len()).sum();
+            return (count, plan);
+        }
+        *budget -= 1;
+
+        if pending.is_empty() {
+            // All of this node's workers are decided: recurse into children
+            // (Algorithm 1, lines 15–16). Children are worker-independent, so
+            // a sequential pass over the shared task pool stays exact.
+            let mut total = 0;
+            let mut plan = Vec::new();
+            for &child in &tree.nodes[node].children {
+                let child_workers = self.node_workers(tree, mapping, child);
+                let (count, child_plan) =
+                    self.exact_node(tree, mapping, child, &child_workers, available, budget, samples);
+                // Commit the child plan while processing the remaining
+                // children, then roll back before returning.
+                for (_, seq) in &child_plan {
+                    for t in seq.iter() {
+                        available.remove(&t);
+                    }
+                }
+                total += count;
+                plan.extend(child_plan);
+            }
+            for (_, seq) in &plan {
+                for t in seq.iter() {
+                    available.insert(t);
+                }
+            }
+            return (total, plan);
+        }
+
+        let worker = pending[0];
+        let rest = &pending[1..];
+        let descendant_workers = self.descendant_worker_count(tree, node);
+        let state = self.state_features(pending, descendant_workers, available);
+
+        // Option 0: leave this worker unassigned.
+        let (mut best_count, mut best_plan) =
+            self.exact_node(tree, mapping, node, rest, available, budget, samples);
+
+        // Options: every candidate sequence of the worker whose tasks are all
+        // still available (Algorithm 1, lines 6–12).
+        if let Some(sequence_set) = self.sequences.get(&worker) {
+            let worker_record = self.workers.get(worker);
+            for q in sequence_set.iter() {
+                if !q.iter().all(|t| available.contains(&t)) {
+                    continue;
+                }
+                for t in q.iter() {
+                    available.remove(&t);
+                }
+                let (sub_count, sub_plan) =
+                    self.exact_node(tree, mapping, node, rest, available, budget, samples);
+                for t in q.iter() {
+                    available.insert(t);
+                }
+                let count = sub_count + q.len();
+                if let Some(out) = samples.as_deref_mut() {
+                    out.push(SearchSample {
+                        state,
+                        action: ActionFeatures::compute(
+                            worker_record,
+                            q,
+                            self.tasks,
+                            &self.config.travel,
+                            self.now,
+                        ),
+                        opt: count as f64,
+                    });
+                }
+                if count > best_count {
+                    best_count = count;
+                    let mut plan = sub_plan;
+                    plan.push((worker, q.clone()));
+                    best_plan = plan;
+                }
+            }
+        }
+        (best_count, best_plan)
+    }
+
+    // ------------------------------------------------------------------
+    // TVF-guided search (Algorithm 2)
+    // ------------------------------------------------------------------
+
+    /// Greedy tree traversal guided by the trained Task Value Function: each
+    /// worker receives the candidate sequence with the highest predicted
+    /// long-term value, without backtracking.
+    pub fn guided(
+        &self,
+        tree: &ClusterTree,
+        mapping: &[WorkerId],
+        available: &mut HashSet<TaskId>,
+        tvf: &TaskValueFunction,
+    ) -> Assignment {
+        let mut assignment = Assignment::new();
+        for &root in &tree.roots {
+            let workers = self.node_workers(tree, mapping, root);
+            self.guided_node(tree, mapping, root, &workers, available, tvf, &mut assignment);
+        }
+        assignment
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn guided_node(
+        &self,
+        tree: &ClusterTree,
+        mapping: &[WorkerId],
+        node: usize,
+        pending: &[WorkerId],
+        available: &mut HashSet<TaskId>,
+        tvf: &TaskValueFunction,
+        assignment: &mut Assignment,
+    ) {
+        if pending.is_empty() {
+            for &child in &tree.nodes[node].children {
+                let child_workers = self.node_workers(tree, mapping, child);
+                self.guided_node(tree, mapping, child, &child_workers, available, tvf, assignment);
+            }
+            return;
+        }
+        let worker = pending[0];
+        let rest = &pending[1..];
+        let descendant_workers = self.descendant_worker_count(tree, node);
+        let state = self.state_features(pending, descendant_workers, available);
+        let mut best: Option<(f64, &TaskSequence)> = None;
+        if let Some(sequence_set) = self.sequences.get(&worker) {
+            let worker_record = self.workers.get(worker);
+            for q in sequence_set.iter() {
+                if !q.iter().all(|t| available.contains(&t)) {
+                    continue;
+                }
+                let action = ActionFeatures::compute(
+                    worker_record,
+                    q,
+                    self.tasks,
+                    &self.config.travel,
+                    self.now,
+                );
+                let value = tvf.value(&state, &action);
+                if best.map_or(true, |(v, _)| value > v) {
+                    best = Some((value, q));
+                }
+            }
+        }
+        if let Some((_, q)) = best {
+            for t in q.iter() {
+                available.remove(&t);
+            }
+            assignment.set(worker, q.clone());
+        }
+        self.guided_node(tree, mapping, node, rest, available, tvf, assignment);
+    }
+
+    // ------------------------------------------------------------------
+    // Greedy baseline
+    // ------------------------------------------------------------------
+
+    /// The Greedy baseline of §V-B.2: every worker (in the given order) takes
+    /// the longest candidate sequence still fully available.
+    pub fn greedy(&self, worker_ids: &[WorkerId], available: &mut HashSet<TaskId>) -> Assignment {
+        let plan = self.greedy_completion(worker_ids, available);
+        let mut assignment = Assignment::new();
+        for (w, seq) in plan {
+            for t in seq.iter() {
+                available.remove(&t);
+            }
+            assignment.set(w, seq);
+        }
+        assignment
+    }
+
+    /// Greedy completion used both by the Greedy baseline and as the
+    /// budget-exhausted fallback of the exact search. Does not mutate
+    /// `available`.
+    fn greedy_completion(
+        &self,
+        worker_ids: &[WorkerId],
+        available: &HashSet<TaskId>,
+    ) -> Vec<(WorkerId, TaskSequence)> {
+        let mut taken: HashSet<TaskId> = HashSet::new();
+        let mut plan = Vec::new();
+        for &w in worker_ids {
+            if let Some(sequence_set) = self.sequences.get(&w) {
+                // Sequences are sorted longest-first, so the first compatible
+                // one is the greedy choice.
+                if let Some(q) = sequence_set
+                    .iter()
+                    .find(|q| q.iter().all(|t| available.contains(&t) && !taken.contains(&t)))
+                {
+                    for t in q.iter() {
+                        taken.insert(t);
+                    }
+                    plan.push((w, q.clone()));
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachable::{build_worker_dependency_graph, reachable_tasks};
+    use crate::sequences::generate_sequences;
+    use datawa_core::{Location, Task, Worker};
+
+    /// Builds the full search context for a small scenario: two workers close
+    /// together competing over three tasks on a line.
+    struct Fixture {
+        workers: WorkerStore,
+        tasks: TaskStore,
+        config: AssignConfig,
+    }
+
+    fn fixture() -> Fixture {
+        let mut workers = WorkerStore::new();
+        workers.insert(Worker::new(WorkerId(0), Location::new(0.0, 0.0), 10.0, Timestamp(0.0), Timestamp(100.0)));
+        workers.insert(Worker::new(WorkerId(0), Location::new(4.0, 0.0), 10.0, Timestamp(0.0), Timestamp(100.0)));
+        let mut tasks = TaskStore::new();
+        tasks.insert(Task::new(TaskId(0), Location::new(1.0, 0.0), Timestamp(0.0), Timestamp(100.0)));
+        tasks.insert(Task::new(TaskId(0), Location::new(2.0, 0.0), Timestamp(0.0), Timestamp(100.0)));
+        tasks.insert(Task::new(TaskId(0), Location::new(3.0, 0.0), Timestamp(0.0), Timestamp(100.0)));
+        Fixture {
+            workers,
+            tasks,
+            config: AssignConfig::unit_speed(),
+        }
+    }
+
+    struct Built {
+        sequences: HashMap<WorkerId, SequenceSet>,
+        reachable: ReachableSets,
+        tree: ClusterTree,
+        mapping: Vec<WorkerId>,
+    }
+
+    fn build(f: &Fixture) -> Built {
+        let wids: Vec<WorkerId> = f.workers.ids().collect();
+        let tids: Vec<TaskId> = f.tasks.ids().collect();
+        let reachable = reachable_tasks(&wids, &tids, &f.workers, &f.tasks, &f.config, Timestamp(0.0));
+        let mut sequences = HashMap::new();
+        for &w in &wids {
+            sequences.insert(
+                w,
+                generate_sequences(f.workers.get(w), reachable.of(w), &f.tasks, &f.config, Timestamp(0.0)),
+            );
+        }
+        let (graph, mapping) = build_worker_dependency_graph(&wids, &reachable);
+        let tree = ClusterTree::build(&graph);
+        Built {
+            sequences,
+            reachable,
+            tree,
+            mapping,
+        }
+    }
+
+    #[test]
+    fn exact_search_assigns_all_tasks_when_possible() {
+        let f = fixture();
+        let b = build(&f);
+        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let mut available: HashSet<TaskId> = f.tasks.ids().collect();
+        let assignment = search.exact(&b.tree, &b.mapping, &mut available, None);
+        assert_eq!(assignment.assigned_count(), 3, "all three tasks are assignable");
+        assert!(assignment
+            .validate(&f.workers, &f.tasks, &f.config.travel, Timestamp(0.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn exact_search_beats_or_matches_greedy() {
+        let f = fixture();
+        let b = build(&f);
+        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let wids: Vec<WorkerId> = f.workers.ids().collect();
+        let mut avail_greedy: HashSet<TaskId> = f.tasks.ids().collect();
+        let greedy = search.greedy(&wids, &mut avail_greedy);
+        let mut avail_exact: HashSet<TaskId> = f.tasks.ids().collect();
+        let exact = search.exact(&b.tree, &b.mapping, &mut avail_exact, None);
+        assert!(exact.assigned_count() >= greedy.assigned_count());
+    }
+
+    #[test]
+    fn exact_search_collects_training_samples() {
+        let f = fixture();
+        let b = build(&f);
+        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let mut available: HashSet<TaskId> = f.tasks.ids().collect();
+        let mut samples = Vec::new();
+        let _ = search.exact(&b.tree, &b.mapping, &mut available, Some(&mut samples));
+        assert!(!samples.is_empty());
+        // Rewards are bounded by the number of tasks.
+        assert!(samples.iter().all(|s| s.opt >= 1.0 && s.opt <= 3.0));
+        assert!(samples.iter().all(|s| s.action.sequence_len >= 1));
+    }
+
+    #[test]
+    fn guided_search_respects_task_exclusivity() {
+        let f = fixture();
+        let b = build(&f);
+        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let tvf = TaskValueFunction::new(8, 0);
+        let mut available: HashSet<TaskId> = f.tasks.ids().collect();
+        let assignment = search.guided(&b.tree, &b.mapping, &mut available, &tvf);
+        // Whatever the untrained TVF picks, the assignment must stay feasible
+        // and single-assignment.
+        assert!(assignment
+            .validate(&f.workers, &f.tasks, &f.config.travel, Timestamp(0.0))
+            .is_empty());
+        assert!(assignment.assigned_count() <= 3);
+    }
+
+    #[test]
+    fn trained_tvf_recovers_near_exact_quality_on_the_fixture() {
+        let f = fixture();
+        let b = build(&f);
+        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let mut available: HashSet<TaskId> = f.tasks.ids().collect();
+        let mut samples = Vec::new();
+        let exact = search.exact(&b.tree, &b.mapping, &mut available, Some(&mut samples));
+        let mut tvf = TaskValueFunction::new(16, 3);
+        let tuples: Vec<_> = samples.iter().map(|s| (s.state, s.action, s.opt)).collect();
+        tvf.train(&tuples, 150, 8, 0.01, 3);
+        let mut available: HashSet<TaskId> = f.tasks.ids().collect();
+        let guided = search.guided(&b.tree, &b.mapping, &mut available, &tvf);
+        assert!(
+            guided.assigned_count() + 1 >= exact.assigned_count(),
+            "guided search should be within one task of exact on this toy instance (guided={}, exact={})",
+            guided.assigned_count(),
+            exact.assigned_count()
+        );
+    }
+
+    #[test]
+    fn zero_budget_falls_back_to_greedy_but_stays_feasible() {
+        let f = fixture();
+        let b = build(&f);
+        let mut config = f.config;
+        config.search_node_budget = 0;
+        let search = DfSearch::new(&f.workers, &f.tasks, &config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let mut available: HashSet<TaskId> = f.tasks.ids().collect();
+        let assignment = search.exact(&b.tree, &b.mapping, &mut available, None);
+        assert!(assignment
+            .validate(&f.workers, &f.tasks, &config.travel, Timestamp(0.0))
+            .is_empty());
+        assert!(assignment.assigned_count() >= 1);
+    }
+}

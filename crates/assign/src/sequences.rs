@@ -1,0 +1,231 @@
+//! Maximal valid task sequence generation (§IV-A.1, Eq. 10).
+//!
+//! For every worker we enumerate valid task sequences over their reachable
+//! task set and keep, for each distinct *set* of tasks, the ordering with the
+//! earliest completion time (Eq. 10). The result `Q_w` is what both DFSearch
+//! variants branch over.
+
+use crate::config::AssignConfig;
+use datawa_core::{TaskId, TaskSequence, TaskStore, Timestamp, Worker};
+use std::collections::HashMap;
+
+/// The candidate sequences `Q_w` of one worker.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceSet {
+    /// Candidate sequences, sorted by decreasing length then increasing
+    /// completion time, so greedy consumers can take the front element.
+    pub sequences: Vec<TaskSequence>,
+}
+
+impl SequenceSet {
+    /// Number of candidate sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the worker has no candidate sequence.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// The longest candidate (first after sorting), if any.
+    pub fn best(&self) -> Option<&TaskSequence> {
+        self.sequences.first()
+    }
+
+    /// Iterates over the candidate sequences.
+    pub fn iter(&self) -> impl Iterator<Item = &TaskSequence> {
+        self.sequences.iter()
+    }
+}
+
+/// Enumerates `Q_w` for `worker` over its reachable tasks.
+///
+/// Depth-first enumeration over orderings with pruning: a prefix that violates
+/// any Definition 4 constraint cannot be extended into a valid sequence, so
+/// the subtree is skipped. For every distinct task set the minimum-completion
+/// ordering is kept (Eq. 10). When `config.include_subsets` is `false`, task
+/// sets strictly contained in another surviving task set are dropped
+/// ("maximal" sequences only).
+pub fn generate_sequences(
+    worker: &Worker,
+    reachable: &[TaskId],
+    tasks: &TaskStore,
+    config: &AssignConfig,
+    now: Timestamp,
+) -> SequenceSet {
+    // best completion time per task-set key (sorted ids).
+    let mut best: HashMap<Vec<TaskId>, (TaskSequence, Timestamp)> = HashMap::new();
+    let mut current: Vec<TaskId> = Vec::new();
+    let max_len = config.max_sequence_len.min(reachable.len());
+    dfs(
+        worker,
+        reachable,
+        tasks,
+        config,
+        now,
+        &mut current,
+        max_len,
+        &mut best,
+    );
+    let mut keys: Vec<Vec<TaskId>> = best.keys().cloned().collect();
+    if !config.include_subsets {
+        keys.retain(|k| {
+            !best.keys().any(|other| {
+                other.len() > k.len() && k.iter().all(|t| other.contains(t))
+            })
+        });
+    }
+    let mut sequences: Vec<(TaskSequence, Timestamp)> = keys
+        .into_iter()
+        .map(|k| best.get(&k).expect("key from map").clone())
+        .collect();
+    sequences.sort_by(|a, b| {
+        b.0.len()
+            .cmp(&a.0.len())
+            .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    SequenceSet {
+        sequences: sequences.into_iter().map(|(s, _)| s).collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    worker: &Worker,
+    reachable: &[TaskId],
+    tasks: &TaskStore,
+    config: &AssignConfig,
+    now: Timestamp,
+    current: &mut Vec<TaskId>,
+    max_len: usize,
+    best: &mut HashMap<Vec<TaskId>, (TaskSequence, Timestamp)>,
+) {
+    if current.len() >= max_len {
+        return;
+    }
+    for &tid in reachable {
+        if current.contains(&tid) {
+            continue;
+        }
+        current.push(tid);
+        let sequence = TaskSequence::from_ids(current.iter().copied());
+        if sequence.is_valid(worker, tasks, &config.travel, now) {
+            let completion = sequence.completion_time(worker, tasks, &config.travel, now);
+            let mut key: Vec<TaskId> = current.clone();
+            key.sort_unstable();
+            let entry = best.entry(key).or_insert_with(|| (sequence.clone(), completion));
+            if completion < entry.1 {
+                *entry = (sequence.clone(), completion);
+            }
+            dfs(worker, reachable, tasks, config, now, current, max_len, best);
+        }
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datawa_core::{Location, Task, WorkerId};
+
+    fn store(line: &[(f64, f64)]) -> TaskStore {
+        let mut s = TaskStore::new();
+        for &(x, e) in line {
+            s.insert(Task::new(TaskId(0), Location::new(x, 0.0), Timestamp(0.0), Timestamp(e)));
+        }
+        s
+    }
+
+    fn worker_at_origin(d: f64, off: f64) -> Worker {
+        Worker::new(WorkerId(0), Location::new(0.0, 0.0), d, Timestamp(0.0), Timestamp(off))
+    }
+
+    #[test]
+    fn keeps_minimum_completion_ordering_per_task_set() {
+        // Tasks at x = 1 and x = 2: order (1, 2) completes at t=2, order (2, 1)
+        // at t=3. Only the former must survive for the pair set (Eq. 10).
+        let tasks = store(&[(1.0, 100.0), (2.0, 100.0)]);
+        let worker = worker_at_origin(10.0, 100.0);
+        let config = AssignConfig::unit_speed();
+        let qs = generate_sequences(&worker, &[TaskId(0), TaskId(1)], &tasks, &config, Timestamp(0.0));
+        let pair = qs
+            .iter()
+            .find(|s| s.len() == 2)
+            .expect("the pair sequence must be generated");
+        assert_eq!(pair.tasks(), &[TaskId(0), TaskId(1)]);
+        // Singletons + the pair (include_subsets default true).
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs.best().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn invalid_prefixes_are_pruned() {
+        // Second task expires too early to be reached after the first.
+        let tasks = store(&[(1.0, 100.0), (2.0, 1.5)]);
+        let worker = worker_at_origin(10.0, 100.0);
+        let config = AssignConfig::unit_speed();
+        let qs = generate_sequences(&worker, &[TaskId(0), TaskId(1)], &tasks, &config, Timestamp(0.0));
+        // (s1) alone is valid (reached at t=2 >= 1.5? no: travel 2.0 > 1.5 so
+        // s1 alone is invalid too) — only (s0) and nothing containing s1.
+        assert!(qs.iter().all(|s| !s.contains(TaskId(1))));
+        assert_eq!(qs.len(), 1);
+    }
+
+    #[test]
+    fn maximal_only_drops_subsets() {
+        let tasks = store(&[(1.0, 100.0), (2.0, 100.0), (3.0, 100.0)]);
+        let worker = worker_at_origin(10.0, 100.0);
+        let mut config = AssignConfig::unit_speed();
+        config.include_subsets = false;
+        let qs = generate_sequences(
+            &worker,
+            &[TaskId(0), TaskId(1), TaskId(2)],
+            &tasks,
+            &config,
+            Timestamp(0.0),
+        );
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs.best().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn max_sequence_len_caps_candidates() {
+        let tasks = store(&[(1.0, 100.0), (2.0, 100.0), (3.0, 100.0)]);
+        let worker = worker_at_origin(10.0, 100.0);
+        let mut config = AssignConfig::unit_speed();
+        config.max_sequence_len = 1;
+        let qs = generate_sequences(
+            &worker,
+            &[TaskId(0), TaskId(1), TaskId(2)],
+            &tasks,
+            &config,
+            Timestamp(0.0),
+        );
+        assert_eq!(qs.len(), 3);
+        assert!(qs.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn every_generated_sequence_is_valid() {
+        let tasks = store(&[(0.5, 5.0), (1.5, 6.0), (2.5, 4.0), (0.8, 9.0)]);
+        let worker = worker_at_origin(2.0, 7.0);
+        let config = AssignConfig::unit_speed();
+        let reachable: Vec<TaskId> = tasks.ids().collect();
+        let qs = generate_sequences(&worker, &reachable, &tasks, &config, Timestamp(0.0));
+        assert!(!qs.is_empty());
+        for seq in qs.iter() {
+            assert!(seq.is_valid(&worker, &tasks, &config.travel, Timestamp(0.0)));
+        }
+    }
+
+    #[test]
+    fn worker_with_no_reachable_tasks_has_empty_qw() {
+        let tasks = store(&[(1.0, 100.0)]);
+        let worker = worker_at_origin(10.0, 100.0);
+        let config = AssignConfig::unit_speed();
+        let qs = generate_sequences(&worker, &[], &tasks, &config, Timestamp(0.0));
+        assert!(qs.is_empty());
+        assert!(qs.best().is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §3:
+//! (1) TVF-guided search vs exact DFSearch, (2) worker dependency separation
+//! on/off, (3) DDGNN's learned dynamic adjacency vs an identity adjacency,
+//! (4) the maximal-valid-sequence length cap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datawa_assign::{AssignConfig, Planner, SearchMode, TaskValueFunction};
+use datawa_bench::{small_trace, snapshot_at_mid};
+use datawa_predict::{DdgnnPredictor, DemandPredictor};
+use datawa_sim::{build_series, PipelineConfig};
+use std::time::Duration;
+
+fn ablation_tvf_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/tvf_vs_exact");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let trace = small_trace(0.05);
+    let (workers, tasks, now) = snapshot_at_mid(&trace);
+    let exact = Planner::new(AssignConfig::default(), SearchMode::Exact);
+    let guided =
+        Planner::new(AssignConfig::default(), SearchMode::Guided).with_tvf(TaskValueFunction::new(16, 0));
+    group.bench_function("exact_dfsearch", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                exact
+                    .plan(&workers, &tasks, &trace.workers, &trace.tasks, now)
+                    .0
+                    .assigned_count(),
+            )
+        })
+    });
+    group.bench_function("tvf_guided", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                guided
+                    .plan(&workers, &tasks, &trace.workers, &trace.tasks, now)
+                    .0
+                    .assigned_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ablation_dependency_separation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/worker_dependency_separation");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let trace = small_trace(0.05);
+    let (workers, tasks, now) = snapshot_at_mid(&trace);
+    for (name, separation) in [("with_separation", true), ("without_separation", false)] {
+        let config = AssignConfig {
+            use_dependency_separation: separation,
+            ..AssignConfig::default()
+        };
+        let planner = Planner::new(config, SearchMode::Exact);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    planner
+                        .plan(&workers, &tasks, &trace.workers, &trace.tasks, now)
+                        .0
+                        .assigned_count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_dynamic_adjacency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/ddgnn_dynamic_adjacency");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let trace = small_trace(0.03);
+    let config = PipelineConfig {
+        grid_cells_per_side: 4,
+        ..PipelineConfig::default()
+    };
+    let series = build_series(&trace, &config);
+    let (_, mut test) = series.split(0.8);
+    test.examples.truncate(24);
+    let full = DdgnnPredictor::with_defaults(16, config.k, 0);
+    let ablated = DdgnnPredictor::with_defaults(16, config.k, 0).without_dynamic_adjacency();
+    group.bench_function("dynamic_adjacency", |b| {
+        b.iter(|| std::hint::black_box(full.evaluate(&test).average_precision))
+    });
+    group.bench_function("identity_adjacency", |b| {
+        b.iter(|| std::hint::black_box(ablated.evaluate(&test).average_precision))
+    });
+    group.finish();
+}
+
+fn ablation_sequence_cap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/max_sequence_len");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let trace = small_trace(0.05);
+    let (workers, tasks, now) = snapshot_at_mid(&trace);
+    for cap in [1usize, 2, 3] {
+        let config = AssignConfig {
+            max_sequence_len: cap,
+            ..AssignConfig::default()
+        };
+        let planner = Planner::new(config, SearchMode::Exact);
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    planner
+                        .plan(&workers, &tasks, &trace.workers, &trace.tasks, now)
+                        .0
+                        .assigned_count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_tvf_vs_exact,
+    ablation_dependency_separation,
+    ablation_dynamic_adjacency,
+    ablation_sequence_cap
+);
+criterion_main!(benches);

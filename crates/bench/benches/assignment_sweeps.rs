@@ -1,0 +1,96 @@
+//! Assignment-cost benchmarks covering the CPU-time panels of Fig. 7–11:
+//! one Task Planning Assignment (Algorithm 4) invocation per method while
+//! sweeping the workload knobs, on snapshots of the Yueche-like trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datawa_assign::{AssignConfig, Planner, SearchMode, TaskValueFunction};
+use datawa_bench::snapshot_at_mid;
+use datawa_core::TravelModel;
+use datawa_sim::{SyntheticTrace, TraceSpec};
+use std::time::Duration;
+
+fn planners() -> Vec<(&'static str, Planner)> {
+    let config = AssignConfig {
+        travel: TravelModel::urban_driving(),
+        ..AssignConfig::default()
+    };
+    vec![
+        ("Greedy", Planner::new(config, SearchMode::Greedy)),
+        ("Exact(DTA)", Planner::new(config, SearchMode::Exact)),
+        (
+            "Guided(DATA-WA)",
+            Planner::new(config, SearchMode::Guided).with_tvf(TaskValueFunction::new(16, 0)),
+        ),
+    ]
+}
+
+fn bench_axis<F>(c: &mut Criterion, group_name: &str, values: &[f64], make_spec: F)
+where
+    F: Fn(f64) -> TraceSpec,
+{
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    for &value in values {
+        let trace = SyntheticTrace::generate(make_spec(value));
+        let (workers, tasks, now) = snapshot_at_mid(&trace);
+        for (name, planner) in planners() {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{value}")),
+                &value,
+                |bench, _| {
+                    bench.iter(|| {
+                        let (assignment, _) =
+                            planner.plan(&workers, &tasks, &trace.workers, &trace.tasks, now);
+                        std::hint::black_box(assignment.assigned_count())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 7: effect of |S| on the per-instance planning cost.
+fn fig7_tasks(c: &mut Criterion) {
+    bench_axis(c, "fig7/cpu_vs_tasks", &[7_000.0, 9_000.0, 11_000.0], |s| {
+        TraceSpec::yueche().scaled(0.04).with_tasks((s * 0.04) as usize)
+    });
+}
+
+/// Fig. 8: effect of |W|.
+fn fig8_workers(c: &mut Criterion) {
+    bench_axis(c, "fig8/cpu_vs_workers", &[200.0, 400.0, 600.0], |w| {
+        TraceSpec::yueche().scaled(0.04).with_workers((w * 0.04) as usize)
+    });
+}
+
+/// Fig. 9: effect of the reachable distance d.
+fn fig9_reachable(c: &mut Criterion) {
+    bench_axis(c, "fig9/cpu_vs_reachable_distance", &[0.05, 0.5, 1.0, 5.0], |d| {
+        TraceSpec::yueche().scaled(0.04).with_reachable_distance(d)
+    });
+}
+
+/// Fig. 10: effect of the availability window off−on.
+fn fig10_availability(c: &mut Criterion) {
+    bench_axis(c, "fig10/cpu_vs_available_time", &[0.25, 0.75, 1.25], |h| {
+        TraceSpec::yueche().scaled(0.04).with_available_hours(h)
+    });
+}
+
+/// Fig. 11: effect of the task valid time e−p.
+fn fig11_validtime(c: &mut Criterion) {
+    bench_axis(c, "fig11/cpu_vs_valid_time", &[10.0, 30.0, 50.0], |v| {
+        TraceSpec::yueche().scaled(0.04).with_valid_time(v)
+    });
+}
+
+criterion_group!(
+    benches,
+    fig7_tasks,
+    fig8_workers,
+    fig9_reachable,
+    fig10_availability,
+    fig11_validtime
+);
+criterion_main!(benches);

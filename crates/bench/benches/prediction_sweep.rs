@@ -1,0 +1,81 @@
+//! Prediction-cost benchmarks covering the timing panels of Fig. 5/6: one
+//! training epoch and one full-test inference pass for each predictor, across
+//! the ΔT sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datawa_bench::small_trace;
+use datawa_predict::{
+    DdgnnPredictor, DemandPredictor, GraphWaveNetPredictor, LstmPredictor, TrainingConfig,
+};
+use datawa_sim::{build_series, PipelineConfig};
+use std::time::Duration;
+
+fn models(cells: usize, k: usize) -> Vec<(&'static str, Box<dyn DemandPredictor>)> {
+    vec![
+        ("LSTM", Box::new(LstmPredictor::new(k, 12, 0)) as Box<dyn DemandPredictor>),
+        ("Graph-Wavenet", Box::new(GraphWaveNetPredictor::new(cells, k, 12, 8, 0))),
+        ("DDGNN", Box::new(DdgnnPredictor::with_defaults(cells, k, 0))),
+    ]
+}
+
+/// Fig. 5c/6c: training cost per epoch, per model, across ΔT.
+fn training_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/train_epoch");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let trace = small_trace(0.03);
+    for delta_t in [5.0, 9.0] {
+        let config = PipelineConfig {
+            grid_cells_per_side: 4,
+            delta_t,
+            ..PipelineConfig::default()
+        };
+        let series = build_series(&trace, &config);
+        let (mut train, _) = series.split(0.8);
+        // Keep one epoch in the tens-of-milliseconds range: the benchmark
+        // measures per-example training cost, not full convergence.
+        train.examples.truncate(24);
+        let cells = 16;
+        for (name, mut model) in models(cells, config.k) {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("dt{delta_t}")),
+                &delta_t,
+                |bench, _| {
+                    bench.iter(|| {
+                        let report = model.train(
+                            &train,
+                            &TrainingConfig {
+                                epochs: 1,
+                                learning_rate: 0.02,
+                            },
+                        );
+                        std::hint::black_box(report.final_loss)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 5d/6d: inference (testing) cost per model.
+fn inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/test_pass");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let trace = small_trace(0.03);
+    let config = PipelineConfig {
+        grid_cells_per_side: 4,
+        ..PipelineConfig::default()
+    };
+    let series = build_series(&trace, &config);
+    let (_, mut test) = series.split(0.8);
+    test.examples.truncate(24);
+    for (name, model) in models(16, config.k) {
+        group.bench_function(name, |bench| {
+            bench.iter(|| std::hint::black_box(model.evaluate(&test).average_precision));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, training_epoch, inference);
+criterion_main!(benches);

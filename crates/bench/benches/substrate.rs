@@ -1,0 +1,106 @@
+//! Substrate micro-benchmarks: the building blocks every experiment relies on
+//! (dense matmul, spatial range queries, chordal decomposition, recursive
+//! tree construction, maximal-valid-sequence generation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datawa_assign::{generate_sequences, reachable_tasks, AssignConfig};
+use datawa_bench::{small_trace, snapshot_at_mid};
+use datawa_core::{BoundingBox, Location};
+use datawa_geo::{GridSpec, SpatialIndex, UniformGrid};
+use datawa_graph::{mcs_fill_in, ClusterTree, UnGraph};
+use datawa_tensor::Matrix;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Duration;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/matmul");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    for n in [32usize, 64, 128] {
+        let a = Matrix::filled(n, n, 0.5);
+        let b = Matrix::filled(n, n, 0.25);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spatial_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/spatial_range_query");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    let area = BoundingBox::new(Location::new(0.0, 0.0), Location::new(10.0, 10.0));
+    for points in [1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut index = SpatialIndex::new(UniformGrid::new(GridSpec::new(area, 20, 20)));
+        for i in 0..points as u32 {
+            index.insert(Location::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)), i);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(points), &points, |bench, _| {
+            bench.iter(|| {
+                std::hint::black_box(index.within_radius(&Location::new(5.0, 5.0), 1.0).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/worker_dependency_separation");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    for n in [50usize, 150] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut graph = UnGraph::new(n);
+        // Sparse random geometric-ish graph.
+        for u in 0..n {
+            for _ in 0..3 {
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    graph.add_edge(u, v);
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("mcs_fill_in", n), &graph, |bench, g| {
+            bench.iter(|| std::hint::black_box(mcs_fill_in(g).cliques.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("cluster_tree", n), &graph, |bench, g| {
+            bench.iter(|| std::hint::black_box(ClusterTree::build(g).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequence_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/maximal_valid_sequences");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    let trace = small_trace(0.05);
+    let (workers, tasks, now) = snapshot_at_mid(&trace);
+    let config = AssignConfig::default();
+    let reachable = reachable_tasks(&workers, &tasks, &trace.workers, &trace.tasks, &config, now);
+    group.bench_function("all_available_workers", |bench| {
+        bench.iter(|| {
+            let mut total = 0usize;
+            for &w in &workers {
+                total += generate_sequences(
+                    trace.workers.get(w),
+                    reachable.of(w),
+                    &trace.tasks,
+                    &config,
+                    now,
+                )
+                .len();
+            }
+            std::hint::black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_spatial_index,
+    bench_graph_partition,
+    bench_sequence_generation
+);
+criterion_main!(benches);

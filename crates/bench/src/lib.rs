@@ -1,0 +1,44 @@
+//! # datawa-bench
+//!
+//! Criterion benchmarks regenerating the performance panels of the paper's
+//! evaluation (the CPU-time halves of Fig. 5–11) plus ablation and substrate
+//! micro-benchmarks. See `benches/` for the individual harnesses and
+//! `EXPERIMENTS.md` for the mapping from benchmark to paper figure.
+//!
+//! The benches intentionally use small Criterion sample counts and scaled
+//! workloads so that `cargo bench --workspace` completes in minutes; the
+//! experiment binaries in `datawa-experiments` are the place to run the full
+//! sweeps.
+
+/// Shared helper: a deterministic, laptop-sized trace used by several benches
+/// so their numbers are comparable run-to-run.
+pub fn small_trace(scale: f64) -> datawa_sim::SyntheticTrace {
+    datawa_sim::SyntheticTrace::generate(datawa_sim::TraceSpec::yueche().scaled(scale))
+}
+
+/// Shared helper: a planning snapshot (available workers, open tasks) taken at
+/// the middle of the trace horizon.
+pub fn snapshot_at_mid(
+    trace: &datawa_sim::SyntheticTrace,
+) -> (Vec<datawa_core::WorkerId>, Vec<datawa_core::TaskId>, datawa_core::Timestamp) {
+    let now = datawa_core::Timestamp(trace.spec.horizon * 0.5);
+    (
+        trace.workers.available_at(now),
+        trace.tasks.open_at(now),
+        now,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_nonempty_snapshots() {
+        let trace = small_trace(0.05);
+        let (workers, tasks, now) = snapshot_at_mid(&trace);
+        assert!(!workers.is_empty());
+        assert!(!tasks.is_empty());
+        assert!(now.0 > 0.0);
+    }
+}

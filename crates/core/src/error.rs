@@ -1,0 +1,51 @@
+//! Error types shared by the workspace.
+
+use crate::task::TaskId;
+use crate::worker::WorkerId;
+use std::fmt;
+
+/// Errors produced by core-layer validation and lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A task id was not found in the store.
+    UnknownTask(TaskId),
+    /// A worker id was not found in the store.
+    UnknownWorker(WorkerId),
+    /// A record failed well-formedness validation (NaN coordinates, inverted
+    /// windows, …). The string carries the human-readable reason.
+    Malformed(String),
+    /// A configuration value is outside its legal range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            CoreError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            CoreError::Malformed(msg) => write!(f, "malformed record: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result alias for core-layer operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_readably() {
+        assert_eq!(format!("{}", CoreError::UnknownTask(TaskId(3))), "unknown task s3");
+        assert_eq!(
+            format!("{}", CoreError::UnknownWorker(WorkerId(2))),
+            "unknown worker w2"
+        );
+        assert!(format!("{}", CoreError::Malformed("x".into())).contains("malformed"));
+        assert!(format!("{}", CoreError::InvalidConfig("y".into())).contains("configuration"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Arena-style stores for tasks and workers.
+//!
+//! Assignment algorithms and the streaming simulator refer to tasks and
+//! workers by their dense identifiers; the stores own the actual records and
+//! provide O(1) lookup plus the filtered views the algorithms need (open
+//! tasks, available workers).
+
+use crate::task::{Task, TaskId};
+use crate::time::Timestamp;
+use crate::worker::{Worker, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Owning collection of tasks, addressable by [`TaskId`].
+///
+/// Task identifiers are expected to be dense (0..n); the workload generators
+/// in `datawa-sim` always produce dense ids, and [`TaskStore::insert`] assigns
+/// the next dense id itself.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskStore {
+    tasks: Vec<Task>,
+}
+
+impl TaskStore {
+    /// Creates an empty store.
+    pub fn new() -> TaskStore {
+        TaskStore { tasks: Vec::new() }
+    }
+
+    /// Creates a store from pre-built tasks, re-indexing their ids densely in
+    /// input order.
+    pub fn from_tasks<I: IntoIterator<Item = Task>>(tasks: I) -> TaskStore {
+        let mut store = TaskStore::new();
+        for t in tasks {
+            store.insert_with_location(t.location, t.publication, t.expiration);
+        }
+        store
+    }
+
+    /// Inserts a task built from its components, assigning the next dense id.
+    pub fn insert_with_location(
+        &mut self,
+        location: crate::location::Location,
+        publication: Timestamp,
+        expiration: Timestamp,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task::new(id, location, publication, expiration));
+        id
+    }
+
+    /// Inserts an already-constructed task, overriding its id with the next
+    /// dense id, and returns the assigned id.
+    pub fn insert(&mut self, mut task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        task.id = id;
+        self.tasks.push(task);
+        id
+    }
+
+    /// Number of tasks in the store.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Borrow a task by id. Panics if the id is out of range.
+    #[inline]
+    pub fn get(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Borrow a task by id if present.
+    #[inline]
+    pub fn try_get(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(id.index())
+    }
+
+    /// Mutable borrow of a task by id.
+    #[inline]
+    pub fn get_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.index()]
+    }
+
+    /// Iterates over all tasks.
+    pub fn iter(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
+    }
+
+    /// All task ids.
+    pub fn ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Ids of tasks that are open (published, unexpired) at `now`.
+    pub fn open_at(&self, now: Timestamp) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|t| t.is_open_at(now))
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Raw slice of tasks (dense id order).
+    #[inline]
+    pub fn as_slice(&self) -> &[Task] {
+        &self.tasks
+    }
+}
+
+/// Owning collection of workers, addressable by [`WorkerId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkerStore {
+    workers: Vec<Worker>,
+}
+
+impl WorkerStore {
+    /// Creates an empty store.
+    pub fn new() -> WorkerStore {
+        WorkerStore { workers: Vec::new() }
+    }
+
+    /// Creates a store from pre-built workers, re-indexing their ids densely
+    /// in input order.
+    pub fn from_workers<I: IntoIterator<Item = Worker>>(workers: I) -> WorkerStore {
+        let mut store = WorkerStore::new();
+        for w in workers {
+            store.insert(w);
+        }
+        store
+    }
+
+    /// Inserts a worker, overriding its id with the next dense id, and returns
+    /// the assigned id.
+    pub fn insert(&mut self, mut worker: Worker) -> WorkerId {
+        let id = WorkerId(self.workers.len() as u32);
+        worker.id = id;
+        self.workers.push(worker);
+        id
+    }
+
+    /// Number of workers in the store.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Borrow a worker by id. Panics if the id is out of range.
+    #[inline]
+    pub fn get(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.index()]
+    }
+
+    /// Borrow a worker by id if present.
+    #[inline]
+    pub fn try_get(&self, id: WorkerId) -> Option<&Worker> {
+        self.workers.get(id.index())
+    }
+
+    /// Mutable borrow of a worker by id.
+    #[inline]
+    pub fn get_mut(&mut self, id: WorkerId) -> &mut Worker {
+        &mut self.workers[id.index()]
+    }
+
+    /// Iterates over all workers.
+    pub fn iter(&self) -> impl Iterator<Item = &Worker> {
+        self.workers.iter()
+    }
+
+    /// Mutable iteration over all workers (the simulator moves workers along
+    /// their planned legs).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Worker> {
+        self.workers.iter_mut()
+    }
+
+    /// All worker ids.
+    pub fn ids(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        (0..self.workers.len() as u32).map(WorkerId)
+    }
+
+    /// Ids of workers that are online and within their availability window at
+    /// `now`.
+    pub fn available_at(&self, now: Timestamp) -> Vec<WorkerId> {
+        self.workers
+            .iter()
+            .filter(|w| w.is_available_at(now))
+            .map(|w| w.id)
+            .collect()
+    }
+
+    /// Raw slice of workers (dense id order).
+    #[inline]
+    pub fn as_slice(&self) -> &[Worker] {
+        &self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::Location;
+
+    #[test]
+    fn task_store_assigns_dense_ids() {
+        let mut s = TaskStore::new();
+        let a = s.insert_with_location(Location::new(0.0, 0.0), Timestamp(0.0), Timestamp(5.0));
+        let b = s.insert_with_location(Location::new(1.0, 0.0), Timestamp(1.0), Timestamp(6.0));
+        assert_eq!(a, TaskId(0));
+        assert_eq!(b, TaskId(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(b).publication, Timestamp(1.0));
+    }
+
+    #[test]
+    fn open_at_filters_by_lifetime() {
+        let mut s = TaskStore::new();
+        s.insert_with_location(Location::ORIGIN, Timestamp(0.0), Timestamp(5.0));
+        s.insert_with_location(Location::ORIGIN, Timestamp(10.0), Timestamp(15.0));
+        assert_eq!(s.open_at(Timestamp(1.0)), vec![TaskId(0)]);
+        assert_eq!(s.open_at(Timestamp(11.0)), vec![TaskId(1)]);
+        assert!(s.open_at(Timestamp(6.0)).is_empty());
+    }
+
+    #[test]
+    fn worker_store_reindexes_ids() {
+        let w = Worker::new(WorkerId(99), Location::ORIGIN, 1.0, Timestamp(0.0), Timestamp(10.0));
+        let mut s = WorkerStore::new();
+        let id = s.insert(w);
+        assert_eq!(id, WorkerId(0));
+        assert_eq!(s.get(id).id, WorkerId(0));
+    }
+
+    #[test]
+    fn available_at_uses_windows() {
+        let mut s = WorkerStore::new();
+        s.insert(Worker::new(WorkerId(0), Location::ORIGIN, 1.0, Timestamp(0.0), Timestamp(10.0)));
+        s.insert(Worker::new(WorkerId(0), Location::ORIGIN, 1.0, Timestamp(20.0), Timestamp(30.0)));
+        assert_eq!(s.available_at(Timestamp(5.0)), vec![WorkerId(0)]);
+        assert_eq!(s.available_at(Timestamp(25.0)), vec![WorkerId(1)]);
+        assert!(s.available_at(Timestamp(15.0)).is_empty());
+    }
+
+    #[test]
+    fn from_tasks_reindexes() {
+        let t = Task::new(TaskId(7), Location::ORIGIN, Timestamp(0.0), Timestamp(1.0));
+        let s = TaskStore::from_tasks(vec![t]);
+        assert_eq!(s.get(TaskId(0)).id, TaskId(0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Travel model: travel distance `td(a, b)` and travel time `c(a, b)`.
+//!
+//! The paper abstracts movement into two functions used by every validity rule
+//! and every assignment algorithm:
+//!
+//! * `td(a, b)` — travel distance between two locations (Definition 4 iii and
+//!   the reachable-task constraint of §IV-A.1), and
+//! * `c(a, b)` — travel time between two locations (Eq. 1 and constraints i/ii).
+//!
+//! We model travel time as distance divided by a constant worker speed, with
+//! the distance computed under a configurable [`DistanceMetric`]. This is the
+//! standard substitution for the (unavailable) Chengdu road network used by the
+//! authors: a constant-speed metric preserves the relative geometry that the
+//! assignment algorithms are sensitive to (who can reach what before when).
+
+use crate::location::Location;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// The distance metric used to compute `td(a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// Straight-line (L2) distance.
+    Euclidean,
+    /// Rectilinear (L1) distance, a crude proxy for grid-like road networks.
+    Manhattan,
+}
+
+impl DistanceMetric {
+    /// Distance between `a` and `b` under this metric.
+    #[inline]
+    pub fn distance(&self, a: &Location, b: &Location) -> f64 {
+        match self {
+            DistanceMetric::Euclidean => a.euclidean(b),
+            DistanceMetric::Manhattan => a.manhattan(b),
+        }
+    }
+}
+
+/// A travel model: metric + constant speed.
+///
+/// Speed is expressed in distance-units per second, so with kilometre
+/// coordinates a typical urban driving speed of 30 km/h is `30.0 / 3600.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TravelModel {
+    /// Distance metric used for `td`.
+    pub metric: DistanceMetric,
+    /// Constant speed, in distance-units per second. Must be positive.
+    pub speed: f64,
+}
+
+impl TravelModel {
+    /// Creates a Euclidean travel model with the given speed (distance-units
+    /// per second).
+    pub fn euclidean(speed: f64) -> TravelModel {
+        assert!(speed > 0.0, "travel speed must be positive");
+        TravelModel {
+            metric: DistanceMetric::Euclidean,
+            speed,
+        }
+    }
+
+    /// Creates a Manhattan travel model with the given speed.
+    pub fn manhattan(speed: f64) -> TravelModel {
+        assert!(speed > 0.0, "travel speed must be positive");
+        TravelModel {
+            metric: DistanceMetric::Manhattan,
+            speed,
+        }
+    }
+
+    /// A travel model tuned for the synthetic Chengdu-like traces: Euclidean
+    /// metric at 36 km/h (0.01 km per second), a typical effective urban
+    /// ride-hailing speed.
+    pub fn urban_driving() -> TravelModel {
+        TravelModel::euclidean(0.01)
+    }
+
+    /// Travel distance `td(a, b)`.
+    #[inline]
+    pub fn travel_distance(&self, a: &Location, b: &Location) -> f64 {
+        self.metric.distance(a, b)
+    }
+
+    /// Travel time `c(a, b)`.
+    #[inline]
+    pub fn travel_time(&self, a: &Location, b: &Location) -> Duration {
+        Duration(self.travel_distance(a, b) / self.speed)
+    }
+
+    /// The maximum distance coverable within `d`.
+    #[inline]
+    pub fn max_distance_within(&self, d: Duration) -> f64 {
+        self.speed * d.seconds().max(0.0)
+    }
+}
+
+impl Default for TravelModel {
+    fn default() -> Self {
+        TravelModel::urban_driving()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_travel_time_scales_with_speed() {
+        let fast = TravelModel::euclidean(2.0);
+        let slow = TravelModel::euclidean(1.0);
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(0.0, 10.0);
+        assert_eq!(fast.travel_time(&a, &b), Duration(5.0));
+        assert_eq!(slow.travel_time(&a, &b), Duration(10.0));
+        assert_eq!(fast.travel_distance(&a, &b), 10.0);
+    }
+
+    #[test]
+    fn manhattan_distance_is_used_when_selected() {
+        let m = TravelModel::manhattan(1.0);
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(3.0, 4.0);
+        assert_eq!(m.travel_distance(&a, &b), 7.0);
+        assert_eq!(m.travel_time(&a, &b), Duration(7.0));
+    }
+
+    #[test]
+    fn urban_driving_speed_is_36_kmh() {
+        let m = TravelModel::urban_driving();
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(0.0, 36.0); // 36 km
+        assert!((m.travel_time(&a, &b).seconds() - 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_distance_within_clamps_negative_durations() {
+        let m = TravelModel::euclidean(2.0);
+        assert_eq!(m.max_distance_within(Duration(3.0)), 6.0);
+        assert_eq!(m.max_distance_within(Duration(-3.0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_is_rejected() {
+        let _ = TravelModel::euclidean(0.0);
+    }
+}

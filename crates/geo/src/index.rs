@@ -1,0 +1,225 @@
+//! Grid-bucketed spatial index for range queries.
+//!
+//! The assignment component repeatedly asks "which open tasks lie within a
+//! worker's reachable distance?" (§IV-A.1). A uniform-grid bucket index makes
+//! that query proportional to the number of candidate cells instead of the
+//! total task count, which is what keeps the per-instance CPU cost of the
+//! adaptive algorithm flat as |S| grows (Fig. 7b/7d).
+
+use crate::grid::{CellId, UniformGrid};
+use datawa_core::Location;
+
+/// A point index over items of type `T` keyed by their location.
+///
+/// Items are bucketed by grid cell; queries return item references after an
+/// exact distance check. Items can be added and lazily removed (tombstoned)
+/// which matches the streaming simulator's task lifecycle.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex<T> {
+    grid: UniformGrid,
+    buckets: Vec<Vec<Entry<T>>>,
+    live: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    location: Location,
+    item: T,
+    alive: bool,
+}
+
+impl<T: Clone + PartialEq> SpatialIndex<T> {
+    /// Creates an empty index over `grid`.
+    pub fn new(grid: UniformGrid) -> SpatialIndex<T> {
+        let buckets = vec![Vec::new(); grid.cell_count()];
+        SpatialIndex {
+            grid,
+            buckets,
+            live: 0,
+        }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the index holds no live items.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts an item at `location`, returning the cell it was bucketed into.
+    pub fn insert(&mut self, location: Location, item: T) -> CellId {
+        let cell = self.grid.cell_of(&location);
+        self.buckets[cell.index()].push(Entry {
+            location,
+            item,
+            alive: true,
+        });
+        self.live += 1;
+        cell
+    }
+
+    /// Removes (tombstones) the first live occurrence of `item` located at
+    /// `location`. Returns whether something was removed.
+    pub fn remove(&mut self, location: &Location, item: &T) -> bool {
+        let cell = self.grid.cell_of(location);
+        for entry in &mut self.buckets[cell.index()] {
+            if entry.alive && &entry.item == item {
+                entry.alive = false;
+                self.live -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Compacts the buckets, dropping tombstoned entries. Useful after a burst
+    /// of expirations so later queries do not skip dead entries.
+    pub fn compact(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.retain(|e| e.alive);
+        }
+    }
+
+    /// All live items within Euclidean distance `radius` of `center`.
+    pub fn within_radius(&self, center: &Location, radius: f64) -> Vec<&T> {
+        let mut out = Vec::new();
+        let r2 = radius * radius;
+        for cell in self.grid.cells_within_radius(center, radius) {
+            for entry in &self.buckets[cell.index()] {
+                if entry.alive && entry.location.euclidean_sq(center) <= r2 {
+                    out.push(&entry.item);
+                }
+            }
+        }
+        out
+    }
+
+    /// All live items within `radius` of `center`, together with their exact
+    /// distances, sorted by ascending distance.
+    pub fn nearest_within(&self, center: &Location, radius: f64) -> Vec<(&T, f64)> {
+        let mut out: Vec<(&T, f64)> = Vec::new();
+        let r2 = radius * radius;
+        for cell in self.grid.cells_within_radius(center, radius) {
+            for entry in &self.buckets[cell.index()] {
+                if !entry.alive {
+                    continue;
+                }
+                let d2 = entry.location.euclidean_sq(center);
+                if d2 <= r2 {
+                    out.push((&entry.item, d2.sqrt()));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// All live items in a given cell.
+    pub fn items_in_cell(&self, cell: CellId) -> Vec<&T> {
+        self.buckets[cell.index()]
+            .iter()
+            .filter(|e| e.alive)
+            .map(|e| &e.item)
+            .collect()
+    }
+
+    /// Iterates over all live `(location, item)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Location, &T)> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter())
+            .filter(|e| e.alive)
+            .map(|e| (&e.location, &e.item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+    use datawa_core::location::BoundingBox;
+
+    fn index() -> SpatialIndex<u32> {
+        let area = BoundingBox::new(Location::new(0.0, 0.0), Location::new(10.0, 10.0));
+        SpatialIndex::new(UniformGrid::new(GridSpec::new(area, 10, 10)))
+    }
+
+    #[test]
+    fn insert_and_query_within_radius() {
+        let mut idx = index();
+        idx.insert(Location::new(1.0, 1.0), 1);
+        idx.insert(Location::new(2.0, 2.0), 2);
+        idx.insert(Location::new(9.0, 9.0), 3);
+        let near = idx.within_radius(&Location::new(1.5, 1.5), 1.0);
+        assert_eq!(near.len(), 2);
+        assert!(near.contains(&&1) && near.contains(&&2));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn remove_tombstones_items() {
+        let mut idx = index();
+        idx.insert(Location::new(1.0, 1.0), 7);
+        assert!(idx.remove(&Location::new(1.0, 1.0), &7));
+        assert!(!idx.remove(&Location::new(1.0, 1.0), &7));
+        assert!(idx.within_radius(&Location::new(1.0, 1.0), 0.5).is_empty());
+        assert!(idx.is_empty());
+        idx.compact();
+        assert_eq!(idx.items_in_cell(idx.grid().cell_of(&Location::new(1.0, 1.0))).len(), 0);
+    }
+
+    #[test]
+    fn nearest_within_sorts_by_distance() {
+        let mut idx = index();
+        idx.insert(Location::new(5.0, 5.0), 0);
+        idx.insert(Location::new(6.0, 5.0), 1);
+        idx.insert(Location::new(7.5, 5.0), 2);
+        let res = idx.nearest_within(&Location::new(5.0, 5.0), 3.0);
+        let ids: Vec<u32> = res.iter().map(|(i, _)| **i).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(res[1].1 > res[0].1 && res[2].1 > res[1].1);
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut idx = index();
+        let mut points = Vec::new();
+        for i in 0..500u32 {
+            let p = Location::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0));
+            points.push((p, i));
+            idx.insert(p, i);
+        }
+        for _ in 0..20 {
+            let center = Location::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0));
+            let radius = rng.gen_range(0.1..4.0);
+            let mut expected: Vec<u32> = points
+                .iter()
+                .filter(|(p, _)| p.euclidean(&center) <= radius)
+                .map(|(_, i)| *i)
+                .collect();
+            let mut got: Vec<u32> = idx.within_radius(&center, radius).into_iter().copied().collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expected, got);
+        }
+    }
+
+    #[test]
+    fn items_in_cell_only_returns_that_cell() {
+        let mut idx = index();
+        idx.insert(Location::new(0.5, 0.5), 1);
+        idx.insert(Location::new(9.5, 9.5), 2);
+        let cell = idx.grid().cell_of(&Location::new(0.5, 0.5));
+        assert_eq!(idx.items_in_cell(cell), vec![&1]);
+    }
+}

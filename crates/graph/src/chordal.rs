@@ -1,0 +1,268 @@
+//! Chordal completion and maximal cliques via Maximum Cardinality Search.
+//!
+//! §IV-A.3 of the paper partitions the worker dependency graph by (i) adding
+//! fill-in edges so the graph becomes chordal and (ii) enumerating the maximal
+//! cliques of the chordal graph. Both steps follow the classical Tarjan &
+//! Yannakakis construction: an MCS ordering, the elimination game along that
+//! ordering (which adds the fill-in edges and yields a perfect elimination
+//! ordering of the result), and the clique candidates `{v} ∪ N_later(v)`
+//! collected during elimination, filtered down to the maximal ones.
+
+use crate::undirected::UnGraph;
+use std::collections::BTreeSet;
+
+/// The result of chordal completion on a graph.
+#[derive(Debug, Clone)]
+pub struct ChordalDecomposition {
+    /// The input graph plus fill-in edges (a chordal supergraph).
+    pub chordal: UnGraph,
+    /// A perfect elimination ordering of `chordal` (first element eliminated
+    /// first).
+    pub elimination_order: Vec<usize>,
+    /// The fill-in edges that were added.
+    pub fill_edges: Vec<(usize, usize)>,
+    /// The maximal cliques of `chordal`, each sorted ascending.
+    pub cliques: Vec<Vec<usize>>,
+}
+
+/// Computes an MCS vertex ordering: repeatedly pick the unnumbered vertex with
+/// the largest number of numbered neighbours (ties broken by smallest index).
+/// The returned vector lists vertices in *visit* order.
+fn mcs_order(g: &UnGraph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut weight = vec![0usize; n];
+    let mut numbered = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for v in 0..n {
+            if numbered[v] {
+                continue;
+            }
+            match best {
+                None => best = Some(v),
+                Some(b) if weight[v] > weight[b] => best = Some(v),
+                _ => {}
+            }
+        }
+        let v = best.expect("graph has unnumbered vertices");
+        numbered[v] = true;
+        order.push(v);
+        for u in g.neighbors(v) {
+            if !numbered[u] {
+                weight[u] += 1;
+            }
+        }
+    }
+    order
+}
+
+/// Chordal completion of `g` using the MCS ordering and the elimination game,
+/// together with the maximal cliques of the completed graph (§IV-A.3 steps i
+/// and ii).
+pub fn mcs_fill_in(g: &UnGraph) -> ChordalDecomposition {
+    let n = g.node_count();
+    let visit = mcs_order(g);
+    // Eliminate in reverse MCS order; this makes the visit order a reverse
+    // perfect elimination ordering of the filled graph.
+    let elimination_order: Vec<usize> = visit.into_iter().rev().collect();
+    let mut chordal = g.clone();
+    let mut fill_edges = Vec::new();
+    let mut eliminated = vec![false; n];
+    // Clique candidates gathered during elimination: {v} ∪ (uneliminated
+    // neighbours of v at elimination time).
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for &v in &elimination_order {
+        let later: Vec<usize> = chordal
+            .neighbors(v)
+            .filter(|&u| !eliminated[u])
+            .collect();
+        // Make the later-neighbourhood a clique (fill-in).
+        for (i, &a) in later.iter().enumerate() {
+            for &b in &later[i + 1..] {
+                if !chordal.has_edge(a, b) {
+                    chordal.add_edge(a, b);
+                    fill_edges.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        let mut clique = later;
+        clique.push(v);
+        clique.sort_unstable();
+        candidates.push(clique);
+        eliminated[v] = true;
+    }
+    let cliques = keep_maximal(candidates);
+    ChordalDecomposition {
+        chordal,
+        elimination_order,
+        fill_edges,
+        cliques,
+    }
+}
+
+/// Enumerates the maximal cliques of an already-chordal graph given one of its
+/// perfect elimination orderings.
+pub fn maximal_cliques_chordal(chordal: &UnGraph, elimination_order: &[usize]) -> Vec<Vec<usize>> {
+    let n = chordal.node_count();
+    let mut eliminated = vec![false; n];
+    let mut candidates = Vec::with_capacity(n);
+    for &v in elimination_order {
+        let mut clique: Vec<usize> = chordal
+            .neighbors(v)
+            .filter(|&u| !eliminated[u])
+            .collect();
+        clique.push(v);
+        clique.sort_unstable();
+        candidates.push(clique);
+        eliminated[v] = true;
+    }
+    keep_maximal(candidates)
+}
+
+/// Filters a list of vertex sets down to the inclusion-maximal ones,
+/// deduplicating equal sets.
+fn keep_maximal(mut candidates: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    // Sort by decreasing size so supersets are considered first.
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut kept: Vec<BTreeSet<usize>> = Vec::new();
+    for cand in candidates {
+        let set: BTreeSet<usize> = cand.iter().copied().collect();
+        if !kept.iter().any(|k| set.is_subset(k)) {
+            kept.push(set);
+        }
+    }
+    let mut out: Vec<Vec<usize>> = kept
+        .into_iter()
+        .map(|s| s.into_iter().collect::<Vec<_>>())
+        .collect();
+    out.sort();
+    out
+}
+
+/// Whether `g` is chordal, verified by re-running the elimination game along
+/// the given perfect elimination ordering and checking that no fill-in edge is
+/// required. Exposed mainly for tests and debugging.
+pub fn is_chordal_with_peo(g: &UnGraph, elimination_order: &[usize]) -> bool {
+    let n = g.node_count();
+    let mut eliminated = vec![false; n];
+    for &v in elimination_order {
+        let later: Vec<usize> = g.neighbors(v).filter(|&u| !eliminated[u]).collect();
+        for (i, &a) in later.iter().enumerate() {
+            for &b in &later[i + 1..] {
+                if !g.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        eliminated[v] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// C4 (a 4-cycle) is the canonical non-chordal graph: one chord is needed.
+    #[test]
+    fn four_cycle_gets_exactly_one_fill_edge() {
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        let d = mcs_fill_in(&g);
+        assert_eq!(d.fill_edges.len(), 1);
+        assert!(is_chordal_with_peo(&d.chordal, &d.elimination_order));
+        // A chorded 4-cycle decomposes into two triangles.
+        assert_eq!(d.cliques.len(), 2);
+        assert!(d.cliques.iter().all(|c| c.len() == 3));
+        assert!(d.cliques.iter().all(|c| d.chordal.is_clique(c)));
+    }
+
+    #[test]
+    fn tree_needs_no_fill_and_cliques_are_edges() {
+        // A star K1,3 is already chordal; maximal cliques are its edges.
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let d = mcs_fill_in(&g);
+        assert!(d.fill_edges.is_empty());
+        assert_eq!(d.cliques.len(), 3);
+        assert!(d.cliques.iter().all(|c| c.len() == 2 && c.contains(&0)));
+    }
+
+    #[test]
+    fn complete_graph_is_a_single_clique() {
+        let mut g = UnGraph::new(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(i, j);
+            }
+        }
+        let d = mcs_fill_in(&g);
+        assert!(d.fill_edges.is_empty());
+        assert_eq!(d.cliques, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn isolated_nodes_become_singleton_cliques() {
+        let g = UnGraph::new(3);
+        let d = mcs_fill_in(&g);
+        assert_eq!(d.cliques.len(), 3);
+        assert!(d.cliques.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn cliques_cover_all_vertices_and_are_cliques() {
+        // A 6-cycle plus one chord.
+        let mut g = UnGraph::new(6);
+        for i in 0..6 {
+            g.add_edge(i, (i + 1) % 6);
+        }
+        g.add_edge(0, 3);
+        let d = mcs_fill_in(&g);
+        assert!(is_chordal_with_peo(&d.chordal, &d.elimination_order));
+        let covered: BTreeSet<usize> = d.cliques.iter().flatten().copied().collect();
+        assert_eq!(covered.len(), 6);
+        for c in &d.cliques {
+            assert!(d.chordal.is_clique(c));
+        }
+        // Original edges are preserved in the chordal supergraph.
+        for u in g.nodes() {
+            for v in g.neighbors(u) {
+                assert!(d.chordal.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_cliques_chordal_matches_fill_in_output() {
+        let mut g = UnGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let d = mcs_fill_in(&g);
+        let again = maximal_cliques_chordal(&d.chordal, &d.elimination_order);
+        assert_eq!(d.cliques, again);
+        assert!(d.cliques.contains(&vec![0, 1, 2]));
+        assert!(d.cliques.contains(&vec![2, 3]));
+        assert!(d.cliques.contains(&vec![3, 4]));
+    }
+
+    #[test]
+    fn elimination_order_is_a_permutation() {
+        let mut g = UnGraph::new(7);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(4, 5);
+        let d = mcs_fill_in(&g);
+        let mut order = d.elimination_order.clone();
+        order.sort_unstable();
+        assert_eq!(order, (0..7).collect::<Vec<_>>());
+    }
+}

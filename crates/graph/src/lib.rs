@@ -1,0 +1,29 @@
+//! # datawa-graph
+//!
+//! Graph substrate for the Worker Dependency Separation phase of DATA-WA
+//! (§IV-A): undirected graphs over dense `usize` node ids, chordal completion
+//! via Maximum Cardinality Search, maximal-clique enumeration on chordal
+//! graphs, connected components, and the Recursive Tree Construction (RTC)
+//! algorithm that arranges worker clusters into a tree whose sibling nodes are
+//! independent.
+//!
+//! The crate is deliberately domain-agnostic: nodes are plain indices. The
+//! `datawa-assign` crate maps workers onto node indices and interprets the
+//! resulting clusters.
+//!
+//! ```
+//! use datawa_graph::UnGraph;
+//!
+//! let mut g = UnGraph::new(4);
+//! g.add_edge(0, 1);
+//! g.add_edge(2, 3);
+//! assert_eq!(g.connected_components().len(), 2);
+//! ```
+
+pub mod chordal;
+pub mod rtc;
+pub mod undirected;
+
+pub use chordal::{maximal_cliques_chordal, mcs_fill_in, ChordalDecomposition};
+pub use rtc::{ClusterTree, TreeNode};
+pub use undirected::UnGraph;

@@ -1,0 +1,76 @@
+//! # datawa-predict
+//!
+//! Task demand prediction (§III of the DATA-WA paper).
+//!
+//! The study area is partitioned into a uniform grid (`datawa-geo`); the task
+//! history of every cell becomes a *task multivariate time series* of binary
+//! occurrence vectors (Eq. 2). Three predictors forecast the next occurrence
+//! vector of every cell:
+//!
+//! * [`LstmPredictor`] — the LSTM baseline of §V-B.1;
+//! * [`GraphWaveNetPredictor`] — the Graph-WaveNet baseline (static
+//!   self-adaptive adjacency + gated temporal convolution);
+//! * [`DdgnnPredictor`] — the proposed Dynamic Dependency-based Graph Neural
+//!   Network: a demand-dependency learning module that infers a dynamic
+//!   adjacency matrix from the current snapshot (Eq. 4–6), gated dilated
+//!   causal temporal convolution (Eq. 7) and APPNP propagation (Eq. 8–9).
+//!
+//! Predictions above a confidence threshold are converted into *predicted
+//! tasks* (located at the centre of their grid cell) that the assignment layer
+//! plans for ahead of time (DTA+TP and DATA-WA).
+
+pub mod ddgnn;
+pub mod dependency;
+pub mod graph_wavenet;
+pub mod lstm;
+pub mod metrics;
+pub mod predicted;
+pub mod series;
+pub mod trainer;
+
+pub use ddgnn::DdgnnPredictor;
+pub use dependency::DependencyLearner;
+pub use graph_wavenet::GraphWaveNetPredictor;
+pub use lstm::LstmPredictor;
+pub use metrics::{average_precision, precision_recall_at, PrPoint};
+pub use predicted::{predicted_tasks_from, PredictedTask};
+pub use series::{SeriesDataset, SeriesExample, SeriesSpec};
+pub use trainer::{DemandPredictor, EvaluationReport, TrainingConfig};
+
+use datawa_tensor::Var;
+
+/// Stacks a list of `1 × f` row nodes into an `n × f` node, preserving
+/// gradients. Implemented with the existing transpose/concat ops so every
+/// model can assemble per-cell features into a node-feature matrix.
+pub(crate) fn stack_rows(rows: &[Var]) -> Var {
+    assert!(!rows.is_empty(), "cannot stack zero rows");
+    let mut acc = rows[0].transpose();
+    for row in &rows[1..] {
+        acc = acc.concat_cols(&row.transpose());
+    }
+    acc.transpose()
+}
+
+#[cfg(test)]
+mod stack_tests {
+    use super::stack_rows;
+    use datawa_tensor::{Matrix, Var};
+
+    #[test]
+    fn stack_rows_builds_the_expected_matrix() {
+        let a = Var::constant(Matrix::row_vector(&[1.0, 2.0]));
+        let b = Var::constant(Matrix::row_vector(&[3.0, 4.0]));
+        let s = stack_rows(&[a, b]).value();
+        assert_eq!(s, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+    }
+
+    #[test]
+    fn stack_rows_is_differentiable() {
+        let a = Var::parameter(Matrix::row_vector(&[1.0, 2.0]));
+        let b = Var::parameter(Matrix::row_vector(&[3.0, 4.0]));
+        let loss = stack_rows(&[a.clone(), b.clone()]).sum();
+        loss.backward();
+        assert_eq!(a.grad(), Matrix::row_vector(&[1.0, 1.0]));
+        assert_eq!(b.grad(), Matrix::row_vector(&[1.0, 1.0]));
+    }
+}

@@ -1,0 +1,139 @@
+//! Conversion of demand predictions into predicted tasks.
+//!
+//! After DDGNN produces per-cell, per-bucket occurrence probabilities, every
+//! probability above the decision threshold (0.85 in the paper's experiments)
+//! becomes a *predicted task* located at the centre of its grid cell and
+//! published at the start of its ΔT bucket. The assignment component plans
+//! for current and predicted tasks together (§III-C last paragraph, §IV-C).
+
+use crate::series::SeriesSpec;
+use datawa_core::{Duration, Location, Timestamp};
+use datawa_geo::{CellId, UniformGrid};
+use datawa_tensor::Matrix;
+
+/// The decision threshold used in the paper's experiments.
+pub const DEFAULT_THRESHOLD: f64 = 0.85;
+
+/// A task predicted to appear in the near future.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedTask {
+    /// Grid cell the prediction refers to.
+    pub cell: CellId,
+    /// Representative location (cell centre).
+    pub location: Location,
+    /// Expected publication time (start of the predicted ΔT bucket).
+    pub publication: Timestamp,
+    /// Expected expiration time (publication + the configured task valid
+    /// time).
+    pub expiration: Timestamp,
+    /// Model confidence.
+    pub probability: f64,
+}
+
+/// Converts a probability matrix (one row per cell, one column per ΔT bucket
+/// of the predicted window) into predicted tasks.
+///
+/// * `window_start` is the absolute start time of the predicted window;
+/// * `valid_time` is the lifetime assigned to each predicted task (typically
+///   the dataset's task valid time `e − p`);
+/// * probabilities below `threshold` are dropped.
+pub fn predicted_tasks_from(
+    probabilities: &Matrix,
+    grid: &UniformGrid,
+    spec: &SeriesSpec,
+    window_start: Timestamp,
+    valid_time: Duration,
+    threshold: f64,
+) -> Vec<PredictedTask> {
+    assert_eq!(
+        probabilities.rows(),
+        grid.cell_count(),
+        "probability rows must match the grid cell count"
+    );
+    assert_eq!(
+        probabilities.cols(),
+        spec.k,
+        "probability columns must match k"
+    );
+    let mut out = Vec::new();
+    for cell_index in 0..probabilities.rows() {
+        for bucket in 0..probabilities.cols() {
+            let p = probabilities.get(cell_index, bucket);
+            if p >= threshold {
+                let cell = CellId(cell_index as u32);
+                let publication = window_start + Duration(bucket as f64 * spec.delta_t);
+                out.push(PredictedTask {
+                    cell,
+                    location: grid.cell_center(cell),
+                    publication,
+                    expiration: publication + valid_time,
+                    probability: p,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datawa_core::BoundingBox;
+    use datawa_geo::GridSpec;
+
+    fn grid() -> UniformGrid {
+        let area = BoundingBox::new(Location::new(0.0, 0.0), Location::new(4.0, 4.0));
+        UniformGrid::new(GridSpec::new(area, 2, 2))
+    }
+
+    #[test]
+    fn only_confident_predictions_become_tasks() {
+        let spec = SeriesSpec::new(Timestamp(0.0), 5.0, 2, 1);
+        let probs = Matrix::from_rows(&[
+            &[0.9, 0.1],
+            &[0.2, 0.86],
+            &[0.84, 0.3],
+            &[0.99, 0.97],
+        ]);
+        let tasks = predicted_tasks_from(
+            &probs,
+            &grid(),
+            &spec,
+            Timestamp(100.0),
+            Duration(40.0),
+            DEFAULT_THRESHOLD,
+        );
+        assert_eq!(tasks.len(), 4); // (0,0), (1,1), (3,0), (3,1)
+        // Bucket index sets publication offset.
+        let t = tasks.iter().find(|t| t.cell == CellId(1)).unwrap();
+        assert_eq!(t.publication, Timestamp(105.0));
+        assert_eq!(t.expiration, Timestamp(145.0));
+        assert!(t.probability >= 0.85);
+    }
+
+    #[test]
+    fn predicted_task_location_is_the_cell_center() {
+        let spec = SeriesSpec::new(Timestamp(0.0), 5.0, 2, 1);
+        let mut probs = Matrix::zeros(4, 2);
+        probs.set(3, 0, 0.95);
+        let tasks = predicted_tasks_from(
+            &probs,
+            &grid(),
+            &spec,
+            Timestamp(0.0),
+            Duration(10.0),
+            0.85,
+        );
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].location, grid().cell_center(CellId(3)));
+    }
+
+    #[test]
+    fn threshold_zero_emits_everything() {
+        let spec = SeriesSpec::new(Timestamp(0.0), 1.0, 2, 1);
+        let probs = Matrix::zeros(4, 2);
+        let tasks =
+            predicted_tasks_from(&probs, &grid(), &spec, Timestamp(0.0), Duration(1.0), 0.0);
+        assert_eq!(tasks.len(), 8);
+    }
+}

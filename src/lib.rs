@@ -1,0 +1,69 @@
+//! # datawa
+//!
+//! Umbrella crate for the DATA-WA reproduction (ICDE 2025: *Demand-based
+//! Adaptive Task Assignment with Dynamic Worker Availability Windows*).
+//!
+//! This crate re-exports the whole workspace so applications can depend on a
+//! single crate:
+//!
+//! * [`core`] — tasks, workers, availability windows, travel model, task
+//!   sequences and assignments (Definitions 1–5);
+//! * [`geo`] — the uniform grid over the study area and the spatial index;
+//! * [`tensor`] — the minimal autograd/NN substrate;
+//! * [`graph`] — chordal completion, maximal cliques, recursive tree
+//!   construction;
+//! * [`predict`] — task multivariate time series, DDGNN and the LSTM /
+//!   Graph-WaveNet baselines;
+//! * [`assign`] — reachable tasks, maximal valid sequences, DFSearch, the
+//!   Task Value Function, the adaptive streaming runner and the five
+//!   evaluated policies;
+//! * [`sim`] — synthetic Yueche/DiDi-like trace generation and the
+//!   end-to-end pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use datawa::prelude::*;
+//!
+//! // A tiny synthetic trace (1 % of the Yueche-like preset).
+//! let trace = SyntheticTrace::generate(TraceSpec::yueche().scaled(0.01));
+//! let config = PipelineConfig::default();
+//! let summary = run_policy(&trace, PolicyKind::Dta, &[], None, &config);
+//! assert!(summary.assigned_tasks <= trace.tasks.len());
+//! ```
+
+pub use datawa_assign as assign;
+pub use datawa_core as core;
+pub use datawa_geo as geo;
+pub use datawa_graph as graph;
+pub use datawa_predict as predict;
+pub use datawa_sim as sim;
+pub use datawa_tensor as tensor;
+
+/// One-stop imports for examples and downstream binaries.
+pub mod prelude {
+    pub use datawa_assign::{
+        AdaptiveRunner, ArrivalEvent, AssignConfig, Planner, PolicyKind, PredictedTaskInput,
+        SearchMode, TaskValueFunction,
+    };
+    pub use datawa_core::prelude::*;
+    pub use datawa_geo::{GridSpec, SpatialIndex, UniformGrid};
+    pub use datawa_predict::{
+        DdgnnPredictor, DemandPredictor, GraphWaveNetPredictor, LstmPredictor, SeriesDataset,
+        SeriesSpec, TrainingConfig,
+    };
+    pub use datawa_sim::{
+        run_policy, run_prediction, train_tvf_on_prefix, PipelineConfig, SyntheticTrace, TraceSpec,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        use crate::prelude::*;
+        let w = Worker::new(WorkerId(0), Location::new(0.0, 0.0), 1.0, Timestamp(0.0), Timestamp(1.0));
+        assert_eq!(w.id, WorkerId(0));
+        assert_eq!(PolicyKind::all().len(), 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based integration tests: the assignment invariants of the paper
+//! (Definitions 4–5 and the single-task-assignment mode) must hold for every
+//! randomly generated scenario, not just the hand-built fixtures.
+
+use datawa::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a batch of workers scattered over a small area.
+fn workers_strategy(max: usize) -> impl Strategy<Value = Vec<Worker>> {
+    prop::collection::vec(
+        (
+            0.0f64..10.0,
+            0.0f64..10.0,
+            0.2f64..3.0,   // reachable distance
+            0.0f64..50.0,  // online time
+            60.0f64..400.0, // window length
+        ),
+        1..max,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(x, y, d, on, len)| {
+                Worker::new(
+                    WorkerId(0),
+                    Location::new(x, y),
+                    d,
+                    Timestamp(on),
+                    Timestamp(on + len),
+                )
+            })
+            .collect()
+    })
+}
+
+/// Strategy: a batch of tasks with bounded lifetimes.
+fn tasks_strategy(max: usize) -> impl Strategy<Value = Vec<Task>> {
+    prop::collection::vec(
+        (
+            0.0f64..10.0,
+            0.0f64..10.0,
+            0.0f64..120.0, // publication
+            20.0f64..200.0, // valid time
+        ),
+        1..max,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(x, y, p, v)| {
+                Task::new(
+                    TaskId(0),
+                    Location::new(x, y),
+                    Timestamp(p),
+                    Timestamp(p + v),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every planner mode produces a feasible, single-assignment plan on
+    /// arbitrary snapshots.
+    #[test]
+    fn planner_output_is_always_feasible(
+        workers in workers_strategy(10),
+        tasks in tasks_strategy(20),
+        exact in any::<bool>(),
+    ) {
+        let worker_store = WorkerStore::from_workers(workers);
+        let task_store = TaskStore::from_tasks(tasks);
+        let now = Timestamp(60.0);
+        let config = AssignConfig {
+            travel: TravelModel::euclidean(0.05),
+            ..AssignConfig::default()
+        };
+        let mode = if exact { SearchMode::Exact } else { SearchMode::Greedy };
+        let planner = Planner::new(config, mode);
+        let worker_ids: Vec<WorkerId> = worker_store.available_at(now);
+        let task_ids: Vec<TaskId> = task_store.open_at(now);
+        let (assignment, _) = planner.plan(&worker_ids, &task_ids, &worker_store, &task_store, now);
+        // Feasibility per Definition 4 + single assignment per Definition 5.
+        prop_assert!(assignment
+            .validate(&worker_store, &task_store, &config.travel, now)
+            .is_empty());
+        // Only open tasks may be assigned.
+        for task in assignment.assigned_tasks() {
+            prop_assert!(task_ids.contains(&task));
+        }
+    }
+
+    /// The streaming runner never serves a task twice, never serves more
+    /// tasks than exist, and its per-worker counts sum to the total.
+    #[test]
+    fn adaptive_runner_invariants(
+        workers in workers_strategy(8),
+        tasks in tasks_strategy(15),
+    ) {
+        let config = AssignConfig {
+            travel: TravelModel::euclidean(0.05),
+            ..AssignConfig::default()
+        };
+        let events: Vec<ArrivalEvent> = workers
+            .iter()
+            .map(|w| ArrivalEvent::Worker(*w))
+            .chain(tasks.iter().map(|t| ArrivalEvent::Task(*t)))
+            .collect();
+        let total_tasks = tasks.len();
+        for policy in [PolicyKind::Greedy, PolicyKind::Fta, PolicyKind::Dta] {
+            let outcome = AdaptiveRunner::new(config, policy).run(&events, &[]);
+            prop_assert!(outcome.assigned_tasks <= total_tasks);
+            let sum: usize = outcome.per_worker.values().sum();
+            prop_assert_eq!(sum, outcome.assigned_tasks);
+            prop_assert_eq!(outcome.events, events.len());
+        }
+    }
+
+    /// Exact planning never assigns fewer tasks than greedy planning on the
+    /// same snapshot.
+    #[test]
+    fn exact_dominates_greedy(
+        workers in workers_strategy(6),
+        tasks in tasks_strategy(12),
+    ) {
+        let worker_store = WorkerStore::from_workers(workers);
+        let task_store = TaskStore::from_tasks(tasks);
+        let now = Timestamp(60.0);
+        let config = AssignConfig {
+            travel: TravelModel::euclidean(0.05),
+            ..AssignConfig::default()
+        };
+        let worker_ids: Vec<WorkerId> = worker_store.available_at(now);
+        let task_ids: Vec<TaskId> = task_store.open_at(now);
+        let (exact, _) = Planner::new(config, SearchMode::Exact)
+            .plan(&worker_ids, &task_ids, &worker_store, &task_store, now);
+        let (greedy, _) = Planner::new(config, SearchMode::Greedy)
+            .plan(&worker_ids, &task_ids, &worker_store, &task_store, now);
+        prop_assert!(exact.assigned_count() >= greedy.assigned_count());
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration test across crates: synthetic trace → demand
+//! prediction → predicted tasks → TVF training → all five assignment
+//! policies, checking the qualitative relationships the paper's evaluation
+//! reports. The trace generation is fully seeded, so these assertions are
+//! deterministic.
+
+use datawa::prelude::*;
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        grid_cells_per_side: 4,
+        k: 2,
+        history_len: 4,
+        training: TrainingConfig {
+            epochs: 2,
+            learning_rate: 0.02,
+        },
+        replan_every: 1,
+        tvf_training_instants: 3,
+        tvf_epochs: 20,
+        ..PipelineConfig::default()
+    }
+}
+
+fn trace() -> SyntheticTrace {
+    SyntheticTrace::generate(TraceSpec::yueche().scaled(0.02))
+}
+
+#[test]
+fn all_policies_produce_bounded_feasible_outcomes() {
+    let trace = trace();
+    let cfg = config();
+    let cells = (cfg.grid_cells_per_side * cfg.grid_cells_per_side) as usize;
+    let mut predictor = DdgnnPredictor::with_defaults(cells, cfg.k, 1);
+    let (_, predicted) = run_prediction(&mut predictor, &trace, &cfg);
+    for policy in PolicyKind::all() {
+        let predictions: &[_] = if policy.uses_prediction() { &predicted } else { &[] };
+        let summary = run_policy(&trace, policy, predictions, None, &cfg);
+        assert!(
+            summary.assigned_tasks <= trace.tasks.len(),
+            "{} assigned more tasks than exist",
+            summary.policy
+        );
+        assert!(summary.mean_cpu_seconds >= 0.0);
+        assert_eq!(summary.events, trace.tasks.len() + trace.workers.len());
+    }
+}
+
+#[test]
+fn adaptive_replanning_beats_fixed_assignment_on_the_synthetic_trace() {
+    let trace = trace();
+    let cfg = config();
+    let fta = run_policy(&trace, PolicyKind::Fta, &[], None, &cfg);
+    let dta = run_policy(&trace, PolicyKind::Dta, &[], None, &cfg);
+    assert!(
+        dta.assigned_tasks >= fta.assigned_tasks,
+        "DTA ({}) should not fall behind FTA ({})",
+        dta.assigned_tasks,
+        fta.assigned_tasks
+    );
+}
+
+#[test]
+fn exact_search_assigns_at_least_as_many_as_greedy_per_snapshot() {
+    let trace = trace();
+    // Snapshot planning comparison at several instants (the Fig. 7/8 ordering
+    // at the planning level, where it holds deterministically).
+    let config = AssignConfig::default();
+    let exact = Planner::new(config, SearchMode::Exact);
+    let greedy = Planner::new(config, SearchMode::Greedy);
+    let mut checked = 0;
+    for i in 1..6 {
+        let now = Timestamp(trace.spec.horizon * i as f64 / 6.0);
+        let workers = trace.workers.available_at(now);
+        let tasks = trace.tasks.open_at(now);
+        if workers.is_empty() || tasks.is_empty() {
+            continue;
+        }
+        let (a_exact, _) = exact.plan(&workers, &tasks, &trace.workers, &trace.tasks, now);
+        let (a_greedy, _) = greedy.plan(&workers, &tasks, &trace.workers, &trace.tasks, now);
+        assert!(
+            a_exact.assigned_count() >= a_greedy.assigned_count(),
+            "exact search lost to greedy at t={now}"
+        );
+        // Both must be feasible single assignments.
+        assert!(a_exact
+            .validate(&trace.workers, &trace.tasks, &config.travel, now)
+            .is_empty());
+        assert!(a_greedy
+            .validate(&trace.workers, &trace.tasks, &config.travel, now)
+            .is_empty());
+        checked += 1;
+    }
+    assert!(checked >= 2, "too few non-trivial snapshots were checked");
+}
+
+#[test]
+fn prediction_metrics_are_well_formed_for_all_three_models() {
+    let trace = trace();
+    let cfg = config();
+    let cells = (cfg.grid_cells_per_side * cfg.grid_cells_per_side) as usize;
+    let mut models: Vec<Box<dyn DemandPredictor>> = vec![
+        Box::new(LstmPredictor::new(cfg.k, 8, 2)),
+        Box::new(GraphWaveNetPredictor::new(cells, cfg.k, 8, 6, 2)),
+        Box::new(DdgnnPredictor::with_defaults(cells, cfg.k, 2)),
+    ];
+    for model in models.iter_mut() {
+        let (summary, predicted) = run_prediction(model.as_mut(), &trace, &cfg);
+        assert!(summary.average_precision >= 0.0 && summary.average_precision <= 1.0);
+        assert!(summary.train_seconds > 0.0);
+        assert!(summary.test_seconds >= 0.0);
+        for p in &predicted {
+            assert!(p.expiration.0 > p.publication.0);
+        }
+    }
+}
