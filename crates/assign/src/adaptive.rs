@@ -11,8 +11,8 @@ use crate::config::AssignConfig;
 use crate::planner::{Planner, SearchMode};
 use crate::tvf::TaskValueFunction;
 use datawa_core::{
-    Duration, Location, Task, TaskId, TaskSequence, TaskStore, Timestamp, Worker, WorkerId,
-    WorkerStore,
+    AvailableWorkerView, Duration, Location, OpenTaskView, Task, TaskId, TaskSequence, TaskStore,
+    Timestamp, Worker, WorkerId, WorkerMode, WorkerStore,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -188,7 +188,28 @@ impl AdaptiveRunner {
         }
     }
 
-    /// Runs the policy over a time-ordered arrival stream.
+    /// Opens a stepwise run: the caller feeds arrivals and time instances
+    /// itself (this is the entry point the `datawa-stream` discrete-event
+    /// engine drives; [`AdaptiveRunner::run`] is a thin synchronous loop over
+    /// the same state machine).
+    pub fn start<'a>(&'a self, predicted: &'a [PredictedTaskInput]) -> RunnerState<'a> {
+        RunnerState {
+            runner: self,
+            predicted,
+            planner: self.planner(),
+            workers: WorkerStore::new(),
+            tasks: TaskStore::new(),
+            open_view: OpenTaskView::new(),
+            available_view: AvailableWorkerView::new(),
+            runtime: Vec::new(),
+            served: HashSet::new(),
+            reserved_by_fta: HashSet::new(),
+            outcome: RunOutcome::default(),
+        }
+    }
+
+    /// Runs the policy over a time-ordered arrival stream (the legacy
+    /// synchronous driver: one time instance per arrival).
     ///
     /// `predicted` holds the output of the demand-prediction component; it is
     /// ignored by the policies that do not use prediction.
@@ -196,190 +217,21 @@ impl AdaptiveRunner {
         let mut events: Vec<ArrivalEvent> = events.to_vec();
         events.sort_by(|a, b| datawa_core::time::cmp_timestamps(a.time(), b.time()));
 
-        let mut workers = WorkerStore::new();
-        let mut tasks = TaskStore::new();
-        let mut runtime: Vec<WorkerRuntime> = Vec::new();
-        let mut served: HashSet<TaskId> = HashSet::new();
-        let mut reserved_by_fta: HashSet<TaskId> = HashSet::new();
-        let mut outcome = RunOutcome::default();
-
-        let base_planner = self.planner();
-
+        let mut state = self.start(predicted);
         for (event_index, event) in events.iter().enumerate() {
             let now = event.time();
-            outcome.events += 1;
-
-            // Complete travel legs that finished before this instant.
-            for rt in runtime.iter_mut() {
-                if rt.busy_until.0 <= now.0 {
-                    rt.busy_until = rt.busy_until.min(now);
-                }
-            }
-
-            // Insert the arrival.
+            state.record_event();
             match event {
                 ArrivalEvent::Worker(w) => {
-                    workers.insert(*w);
-                    runtime.push(WorkerRuntime {
-                        busy_until: Timestamp(f64::NEG_INFINITY),
-                        plan: TaskSequence::empty(),
-                        fixed_assigned: false,
-                    });
+                    state.insert_worker(*w);
                 }
                 ArrivalEvent::Task(t) => {
-                    tasks.insert(*t);
+                    state.insert_task(*t);
                 }
             }
-
-            // Idle, available workers at this instant.
-            let idle_workers: Vec<WorkerId> = workers
-                .iter()
-                .filter(|w| {
-                    w.is_available_at(now) && runtime[w.id.index()].busy_until.0 <= now.0
-                })
-                .map(|w| w.id)
-                .collect();
-
-            // Open, unserved real tasks.
-            let open_tasks: Vec<TaskId> = tasks
-                .iter()
-                .filter(|t| t.is_open_at(now) && !served.contains(&t.id))
-                .map(|t| t.id)
-                .collect();
-
-            // Planning (Algorithm 3, lines 3–9).
-            // FTA plans only for workers that have never received their fixed
-            // sequence; the adaptive policies re-plan every `replan_every`
-            // events.
-            let unfixed_idle: Vec<WorkerId> = idle_workers
-                .iter()
-                .copied()
-                .filter(|w| !runtime[w.index()].fixed_assigned)
-                .collect();
-            let should_plan = match self.policy {
-                PolicyKind::Fta => !unfixed_idle.is_empty(),
-                _ => event_index % self.replan_every.max(1) == 0,
-            };
-            if should_plan && !open_tasks.is_empty() {
-                let (planning_store, mapping) =
-                    self.build_planning_store(&tasks, &open_tasks, predicted, now);
-                let planning_task_ids: Vec<TaskId> = planning_store.ids().collect();
-                let planning_workers: Vec<WorkerId> = match self.policy {
-                    PolicyKind::Fta => unfixed_idle.clone(),
-                    _ => idle_workers.clone(),
-                };
-                if !planning_workers.is_empty() {
-                    let (assignment, report) = if self.policy == PolicyKind::DataWa {
-                        self.plan_guided(
-                            &planning_workers,
-                            &planning_task_ids,
-                            &workers,
-                            &planning_store,
-                            now,
-                        )
-                    } else {
-                        base_planner.plan(
-                            &planning_workers,
-                            &planning_task_ids,
-                            &workers,
-                            &planning_store,
-                            now,
-                        )
-                    };
-                    outcome.planning_calls += 1;
-                    outcome.total_planning_seconds += report.elapsed_seconds;
-                    if self.policy == PolicyKind::Fta {
-                        // Pin the fixed plans of the planned workers, mapped
-                        // back to real task ids, skipping tasks already
-                        // reserved by earlier fixed plans. A worker is only
-                        // marked as "fixed" once it receives a non-empty
-                        // sequence, matching the paper's notion that every
-                        // worker gets exactly one predetermined sequence.
-                        for &wid in &unfixed_idle {
-                            if let Some(seq) = assignment.get(wid) {
-                                let mut fixed = TaskSequence::empty();
-                                for planning_tid in seq.iter() {
-                                    if let Some(real) = mapping[planning_tid.index()] {
-                                        if !reserved_by_fta.contains(&real) {
-                                            reserved_by_fta.insert(real);
-                                            fixed.push(real);
-                                        }
-                                    }
-                                }
-                                if !fixed.is_empty() {
-                                    runtime[wid.index()].plan = fixed;
-                                    runtime[wid.index()].fixed_assigned = true;
-                                }
-                            }
-                        }
-                    } else {
-                        // Refresh the persistent plan of every planned worker
-                        // with the real tasks of its new sequence (predicted
-                        // tasks guide the search but cannot be dispatched, so
-                        // they are filtered out here).
-                        for &wid in &planning_workers {
-                            let mapped = assignment
-                                .get(wid)
-                                .map(|seq| {
-                                    TaskSequence::from_ids(
-                                        seq.iter().filter_map(|tid| mapping[tid.index()]),
-                                    )
-                                })
-                                .unwrap_or_else(TaskSequence::empty);
-                            runtime[wid.index()].plan = mapped;
-                        }
-                    }
-                }
-            }
-
-            // Dispatch (Algorithm 3, lines 10–14): every idle worker departs
-            // for the first still-servable task of its current plan.
-            for &wid in &idle_workers {
-                // Drop plan entries that were served by someone else or have
-                // already expired.
-                let mut dispatch_target: Option<TaskId> = None;
-                while let Some(candidate) = runtime[wid.index()].plan.first() {
-                    let task = tasks.get(candidate);
-                    if served.contains(&candidate) || task.is_expired_at(now) {
-                        runtime[wid.index()].plan.pop_front();
-                        continue;
-                    }
-                    dispatch_target = Some(candidate);
-                    break;
-                }
-                if let Some(tid) = dispatch_target {
-                    let task = *tasks.get(tid);
-                    let travel_time = {
-                        let w = workers.get(wid);
-                        self.config.travel.travel_time(&w.location, &task.location)
-                    };
-                    // The worker must still be able to reach it before expiry
-                    // and before going offline.
-                    let arrival = now + travel_time;
-                    let w = workers.get(wid);
-                    if arrival.0 < task.expiration.0 && arrival.0 < w.off().0 {
-                        served.insert(tid);
-                        runtime[wid.index()].plan.pop_front();
-                        outcome.assigned_tasks += 1;
-                        *outcome.per_worker.entry(wid).or_insert(0) += 1;
-                        runtime[wid.index()].busy_until = arrival;
-                        workers.get_mut(wid).location = task.location;
-                    } else if self.policy != PolicyKind::Fta {
-                        // An adaptive plan whose head became unreachable is
-                        // stale; drop the head so the next planning instant
-                        // can replace it. FTA keeps its fixed sequence.
-                        runtime[wid.index()].plan.pop_front();
-                    }
-                }
-            }
+            state.step(now, event_index % self.replan_every.max(1) == 0);
         }
-
-        outcome.mean_planning_seconds = if outcome.planning_calls == 0 {
-            0.0
-        } else {
-            outcome.total_planning_seconds / outcome.planning_calls as f64
-        };
-        outcome
+        state.finish()
     }
 
     /// Builds the temporary planning store of open real tasks plus (for the
@@ -402,9 +254,7 @@ impl AdaptiveRunner {
         if self.policy.uses_prediction() {
             let horizon = now + self.prediction_lookahead;
             for p in predicted {
-                if p.publication.0 > now.0
-                    && p.publication.0 <= horizon.0
-                    && p.expiration.0 > now.0
+                if p.publication.0 > now.0 && p.publication.0 <= horizon.0 && p.expiration.0 > now.0
                 {
                     store.insert_with_location(p.location, p.publication, p.expiration);
                     mapping.push(None);
@@ -444,8 +294,14 @@ impl AdaptiveRunner {
             report.elapsed_seconds = start.elapsed().as_secs_f64();
             return (datawa_core::Assignment::new(), report);
         }
-        let reachable =
-            reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &self.config, now);
+        let reachable = reachable_tasks(
+            worker_ids,
+            candidate_tasks,
+            workers,
+            tasks,
+            &self.config,
+            now,
+        );
         report.mean_reachable = reachable.mean_reachable();
         let mut sequences = HashMap::with_capacity(worker_ids.len());
         for &w in worker_ids {
@@ -462,6 +318,252 @@ impl AdaptiveRunner {
         let assignment = search.guided(&tree, &mapping, &mut available, tvf);
         report.elapsed_seconds = start.elapsed().as_secs_f64();
         (assignment, report)
+    }
+}
+
+/// The live state of one streaming run, exposed stepwise so that external
+/// drivers (the synchronous [`AdaptiveRunner::run`] loop and the
+/// `datawa-stream` discrete-event engine) share one implementation of
+/// Algorithm 3.
+///
+/// A driver feeds the state machine three kinds of inputs:
+///
+/// * **arrivals** — [`RunnerState::insert_worker`] / [`RunnerState::insert_task`];
+/// * **retirements** — [`RunnerState::expire_task`] /
+///   [`RunnerState::retire_worker`], which maintain the incremental open-task
+///   and available-worker views in `O(log n)` (drivers without such events may
+///   skip them: the views also prune lazily);
+/// * **time instances** — [`RunnerState::step`], which optionally re-plans
+///   (the batched-replan entry point) and then dispatches idle workers.
+pub struct RunnerState<'a> {
+    runner: &'a AdaptiveRunner,
+    predicted: &'a [PredictedTaskInput],
+    planner: Planner,
+    workers: WorkerStore,
+    tasks: TaskStore,
+    open_view: OpenTaskView,
+    available_view: AvailableWorkerView,
+    runtime: Vec<WorkerRuntime>,
+    served: HashSet<TaskId>,
+    reserved_by_fta: HashSet<TaskId>,
+    outcome: RunOutcome,
+}
+
+impl RunnerState<'_> {
+    /// Counts one arrival event in the outcome (drivers call this once per
+    /// worker/task arrival so [`RunOutcome::events`] matches the legacy loop).
+    #[inline]
+    pub fn record_event(&mut self) {
+        self.outcome.events += 1;
+    }
+
+    /// Inserts an arriving worker and returns its dense id.
+    pub fn insert_worker(&mut self, worker: Worker) -> WorkerId {
+        let id = self.workers.insert(worker);
+        self.runtime.push(WorkerRuntime {
+            busy_until: Timestamp(f64::NEG_INFINITY),
+            plan: TaskSequence::empty(),
+            fixed_assigned: false,
+        });
+        self.available_view.insert(id);
+        id
+    }
+
+    /// Inserts an arriving task and returns its dense id.
+    pub fn insert_task(&mut self, task: Task) -> TaskId {
+        let id = self.tasks.insert(task);
+        self.open_view.insert(id);
+        id
+    }
+
+    /// Removes an expired task from the open view (`O(log n)`; called by
+    /// event-driven drivers when the expiration event fires). Returns whether
+    /// the task was still in the view.
+    pub fn expire_task(&mut self, id: TaskId) -> bool {
+        self.open_view.remove(id)
+    }
+
+    /// Takes a worker offline (`O(log n)` view update; called by event-driven
+    /// drivers when the offline event fires).
+    ///
+    /// With `release_plan`, the worker's undone planned tasks are released:
+    /// its remaining sequence is cleared and, under FTA, the tasks return to
+    /// the unreserved pool so later fixed plans may claim them. The legacy
+    /// synchronous driver never releases (FTA reservations are permanent
+    /// there), which is why this is a flag and not the default behaviour of
+    /// going offline.
+    pub fn retire_worker(&mut self, id: WorkerId, release_plan: bool) {
+        self.available_view.remove(id);
+        self.workers.get_mut(id).mode = WorkerMode::Offline;
+        if release_plan {
+            let plan = std::mem::replace(&mut self.runtime[id.index()].plan, TaskSequence::empty());
+            for tid in plan.iter() {
+                self.reserved_by_fta.remove(&tid);
+            }
+        }
+    }
+
+    /// One time instance of Algorithm 3: plan (if the batching policy asks
+    /// for it via `replan`, or unconditionally for FTA workers still waiting
+    /// for their fixed sequence) and dispatch every idle worker to the first
+    /// still-servable task of its plan.
+    pub fn step(&mut self, now: Timestamp, replan: bool) {
+        let policy = self.runner.policy;
+
+        // Idle, available workers at this instant (ascending id order, like
+        // the full scans the incremental views replace).
+        let idle_workers: Vec<WorkerId> = self
+            .available_view
+            .available_at(&self.workers, now)
+            .into_iter()
+            .filter(|w| self.runtime[w.index()].busy_until.0 <= now.0)
+            .collect();
+
+        // Open, unserved real tasks (served tasks leave the view eagerly at
+        // dispatch time, expired ones lazily here or eagerly via
+        // `expire_task`).
+        let open_tasks: Vec<TaskId> = self.open_view.open_at(&self.tasks, now);
+
+        // Planning (Algorithm 3, lines 3–9). FTA plans only for workers that
+        // have never received their fixed sequence; the adaptive policies
+        // re-plan when the driver's batching policy says so.
+        let unfixed_idle: Vec<WorkerId> = idle_workers
+            .iter()
+            .copied()
+            .filter(|w| !self.runtime[w.index()].fixed_assigned)
+            .collect();
+        let should_plan = match policy {
+            PolicyKind::Fta => !unfixed_idle.is_empty(),
+            _ => replan,
+        };
+        if should_plan && !open_tasks.is_empty() {
+            let (planning_store, mapping) =
+                self.runner
+                    .build_planning_store(&self.tasks, &open_tasks, self.predicted, now);
+            let planning_task_ids: Vec<TaskId> = planning_store.ids().collect();
+            let planning_workers: Vec<WorkerId> = match policy {
+                PolicyKind::Fta => unfixed_idle.clone(),
+                _ => idle_workers.clone(),
+            };
+            if !planning_workers.is_empty() {
+                let (assignment, report) = if policy == PolicyKind::DataWa {
+                    self.runner.plan_guided(
+                        &planning_workers,
+                        &planning_task_ids,
+                        &self.workers,
+                        &planning_store,
+                        now,
+                    )
+                } else {
+                    self.planner.plan(
+                        &planning_workers,
+                        &planning_task_ids,
+                        &self.workers,
+                        &planning_store,
+                        now,
+                    )
+                };
+                self.outcome.planning_calls += 1;
+                self.outcome.total_planning_seconds += report.elapsed_seconds;
+                if policy == PolicyKind::Fta {
+                    // Pin the fixed plans of the planned workers, mapped back
+                    // to real task ids, skipping tasks already reserved by
+                    // earlier fixed plans. A worker is only marked as "fixed"
+                    // once it receives a non-empty sequence, matching the
+                    // paper's notion that every worker gets exactly one
+                    // predetermined sequence.
+                    for &wid in &unfixed_idle {
+                        if let Some(seq) = assignment.get(wid) {
+                            let mut fixed = TaskSequence::empty();
+                            for planning_tid in seq.iter() {
+                                if let Some(real) = mapping[planning_tid.index()] {
+                                    if !self.reserved_by_fta.contains(&real) {
+                                        self.reserved_by_fta.insert(real);
+                                        fixed.push(real);
+                                    }
+                                }
+                            }
+                            if !fixed.is_empty() {
+                                self.runtime[wid.index()].plan = fixed;
+                                self.runtime[wid.index()].fixed_assigned = true;
+                            }
+                        }
+                    }
+                } else {
+                    // Refresh the persistent plan of every planned worker with
+                    // the real tasks of its new sequence (predicted tasks
+                    // guide the search but cannot be dispatched, so they are
+                    // filtered out here).
+                    for &wid in &planning_workers {
+                        let mapped = assignment
+                            .get(wid)
+                            .map(|seq| {
+                                TaskSequence::from_ids(
+                                    seq.iter().filter_map(|tid| mapping[tid.index()]),
+                                )
+                            })
+                            .unwrap_or_else(TaskSequence::empty);
+                        self.runtime[wid.index()].plan = mapped;
+                    }
+                }
+            }
+        }
+
+        // Dispatch (Algorithm 3, lines 10–14): every idle worker departs for
+        // the first still-servable task of its current plan.
+        for &wid in &idle_workers {
+            // Drop plan entries that were served by someone else or have
+            // already expired.
+            let mut dispatch_target: Option<TaskId> = None;
+            while let Some(candidate) = self.runtime[wid.index()].plan.first() {
+                let task = self.tasks.get(candidate);
+                if self.served.contains(&candidate) || task.is_expired_at(now) {
+                    self.runtime[wid.index()].plan.pop_front();
+                    continue;
+                }
+                dispatch_target = Some(candidate);
+                break;
+            }
+            if let Some(tid) = dispatch_target {
+                let task = *self.tasks.get(tid);
+                let travel_time = {
+                    let w = self.workers.get(wid);
+                    self.runner
+                        .config
+                        .travel
+                        .travel_time(&w.location, &task.location)
+                };
+                // The worker must still be able to reach it before expiry and
+                // before going offline.
+                let arrival = now + travel_time;
+                let w = self.workers.get(wid);
+                if arrival.0 < task.expiration.0 && arrival.0 < w.off().0 {
+                    self.served.insert(tid);
+                    self.open_view.remove(tid);
+                    self.runtime[wid.index()].plan.pop_front();
+                    self.outcome.assigned_tasks += 1;
+                    *self.outcome.per_worker.entry(wid).or_insert(0) += 1;
+                    self.runtime[wid.index()].busy_until = arrival;
+                    self.workers.get_mut(wid).location = task.location;
+                } else if policy != PolicyKind::Fta {
+                    // An adaptive plan whose head became unreachable is stale;
+                    // drop the head so the next planning instant can replace
+                    // it. FTA keeps its fixed sequence.
+                    self.runtime[wid.index()].plan.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Closes the run and returns the aggregated outcome.
+    pub fn finish(self) -> RunOutcome {
+        let mut outcome = self.outcome;
+        outcome.mean_planning_seconds = if outcome.planning_calls == 0 {
+            0.0
+        } else {
+            outcome.total_planning_seconds / outcome.planning_calls as f64
+        };
+        outcome
     }
 }
 
@@ -561,7 +663,10 @@ mod tests {
         // One worker, one real task to the east, and a predicted task further
         // east. Prediction does not change the count here (only one real task
         // exists), but the run must remain feasible and count only real tasks.
-        let stream = vec![worker(0.0, 0.0, 0.0, 100.0, 10.0), task(1.0, 0.0, 1.0, 50.0)];
+        let stream = vec![
+            worker(0.0, 0.0, 0.0, 100.0, 10.0),
+            task(1.0, 0.0, 1.0, 50.0),
+        ];
         let predicted = vec![PredictedTaskInput {
             location: Location::new(2.0, 0.0),
             publication: Timestamp(5.0),

@@ -19,7 +19,9 @@ pub mod search;
 pub mod sequences;
 pub mod tvf;
 
-pub use adaptive::{AdaptiveRunner, ArrivalEvent, PolicyKind, PredictedTaskInput, RunOutcome};
+pub use adaptive::{
+    AdaptiveRunner, ArrivalEvent, PolicyKind, PredictedTaskInput, RunOutcome, RunnerState,
+};
 pub use config::AssignConfig;
 pub use planner::{Planner, PlanningReport, SearchMode};
 pub use reachable::{build_worker_dependency_graph, reachable_tasks, ReachableSets};

@@ -88,9 +88,17 @@ impl Planner {
             return (Assignment::new(), report);
         }
         // Lines 2–5: reachable tasks and candidate sequences per worker.
-        let reachable = reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &self.config, now);
+        let reachable = reachable_tasks(
+            worker_ids,
+            candidate_tasks,
+            workers,
+            tasks,
+            &self.config,
+            now,
+        );
         report.mean_reachable = reachable.mean_reachable();
-        let mut sequences: HashMap<WorkerId, SequenceSet> = HashMap::with_capacity(worker_ids.len());
+        let mut sequences: HashMap<WorkerId, SequenceSet> =
+            HashMap::with_capacity(worker_ids.len());
         for &w in worker_ids {
             sequences.insert(
                 w,
@@ -137,8 +145,16 @@ impl Planner {
         if worker_ids.is_empty() || candidate_tasks.is_empty() {
             return Vec::new();
         }
-        let reachable = reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &self.config, now);
-        let mut sequences: HashMap<WorkerId, SequenceSet> = HashMap::with_capacity(worker_ids.len());
+        let reachable = reachable_tasks(
+            worker_ids,
+            candidate_tasks,
+            workers,
+            tasks,
+            &self.config,
+            now,
+        );
+        let mut sequences: HashMap<WorkerId, SequenceSet> =
+            HashMap::with_capacity(worker_ids.len());
         for &w in worker_ids {
             sequences.insert(
                 w,
@@ -237,7 +253,8 @@ mod tests {
         let wids: Vec<WorkerId> = workers.ids().collect();
         let tids: Vec<TaskId> = tasks.ids().collect();
         let collector = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
-        let samples = collector.collect_training_samples(&wids, &tids, &workers, &tasks, Timestamp(0.0));
+        let samples =
+            collector.collect_training_samples(&wids, &tids, &workers, &tasks, Timestamp(0.0));
         assert!(!samples.is_empty());
         let mut tvf = TaskValueFunction::new(16, 0);
         let tuples: Vec<_> = samples.iter().map(|s| (s.state, s.action, s.opt)).collect();

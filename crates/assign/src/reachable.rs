@@ -17,7 +17,10 @@ pub struct ReachableSets {
 impl ReachableSets {
     /// Reachable tasks of `worker` (empty slice when none).
     pub fn of(&self, worker: WorkerId) -> &[TaskId] {
-        self.per_worker.get(&worker).map(Vec::as_slice).unwrap_or(&[])
+        self.per_worker
+            .get(&worker)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Total number of (worker, task) reachability pairs.
@@ -55,7 +58,9 @@ pub fn reachable_tasks(
                 continue;
             }
             if worker.can_reach(task, &config.travel, now) {
-                let d = config.travel.travel_distance(&worker.location, &task.location);
+                let d = config
+                    .travel
+                    .travel_distance(&worker.location, &task.location);
                 reachable.push((tid, d));
             }
         }
@@ -97,13 +102,46 @@ mod tests {
     fn fixture() -> (WorkerStore, TaskStore, AssignConfig) {
         let mut workers = WorkerStore::new();
         // Two workers near the origin, one far away.
-        workers.insert(Worker::new(WorkerId(0), Location::new(0.0, 0.0), 2.0, Timestamp(0.0), Timestamp(100.0)));
-        workers.insert(Worker::new(WorkerId(0), Location::new(1.0, 0.0), 2.0, Timestamp(0.0), Timestamp(100.0)));
-        workers.insert(Worker::new(WorkerId(0), Location::new(50.0, 50.0), 2.0, Timestamp(0.0), Timestamp(100.0)));
+        workers.insert(Worker::new(
+            WorkerId(0),
+            Location::new(0.0, 0.0),
+            2.0,
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
+        workers.insert(Worker::new(
+            WorkerId(0),
+            Location::new(1.0, 0.0),
+            2.0,
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
+        workers.insert(Worker::new(
+            WorkerId(0),
+            Location::new(50.0, 50.0),
+            2.0,
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
         let mut tasks = TaskStore::new();
-        tasks.insert(Task::new(TaskId(0), Location::new(0.5, 0.0), Timestamp(0.0), Timestamp(50.0)));
-        tasks.insert(Task::new(TaskId(0), Location::new(1.5, 0.0), Timestamp(0.0), Timestamp(50.0)));
-        tasks.insert(Task::new(TaskId(0), Location::new(51.0, 50.0), Timestamp(0.0), Timestamp(50.0)));
+        tasks.insert(Task::new(
+            TaskId(0),
+            Location::new(0.5, 0.0),
+            Timestamp(0.0),
+            Timestamp(50.0),
+        ));
+        tasks.insert(Task::new(
+            TaskId(0),
+            Location::new(1.5, 0.0),
+            Timestamp(0.0),
+            Timestamp(50.0),
+        ));
+        tasks.insert(Task::new(
+            TaskId(0),
+            Location::new(51.0, 50.0),
+            Timestamp(0.0),
+            Timestamp(50.0),
+        ));
         (workers, tasks, AssignConfig::unit_speed())
     }
 

@@ -74,8 +74,15 @@ impl<'a> DfSearch<'a> {
         let mut assignment = Assignment::new();
         for &root in &tree.roots {
             let mut budget = self.config.search_node_budget;
-            let (_, plan) =
-                self.exact_node(tree, mapping, root, &self.node_workers(tree, mapping, root), available, &mut budget, &mut samples);
+            let (_, plan) = self.exact_node(
+                tree,
+                mapping,
+                root,
+                &self.node_workers(tree, mapping, root),
+                available,
+                &mut budget,
+                &mut samples,
+            );
             for (w, seq) in plan {
                 for t in seq.iter() {
                     available.remove(&t);
@@ -87,7 +94,11 @@ impl<'a> DfSearch<'a> {
     }
 
     fn node_workers(&self, tree: &ClusterTree, mapping: &[WorkerId], node: usize) -> Vec<WorkerId> {
-        tree.nodes[node].members.iter().map(|&i| mapping[i]).collect()
+        tree.nodes[node]
+            .members
+            .iter()
+            .map(|&i| mapping[i])
+            .collect()
     }
 
     fn descendant_worker_count(&self, tree: &ClusterTree, node: usize) -> usize {
@@ -140,11 +151,7 @@ impl<'a> DfSearch<'a> {
             // Budget exhausted: finish this subtree greedily.
             let mut remaining: Vec<WorkerId> = pending.to_vec();
             for &child in &tree.nodes[node].children {
-                remaining.extend(
-                    tree.subtree_members(child)
-                        .into_iter()
-                        .map(|i| mapping[i]),
-                );
+                remaining.extend(tree.subtree_members(child).into_iter().map(|i| mapping[i]));
             }
             let plan = self.greedy_completion(&remaining, available);
             let count = plan.iter().map(|(_, s)| s.len()).sum();
@@ -160,8 +167,15 @@ impl<'a> DfSearch<'a> {
             let mut plan = Vec::new();
             for &child in &tree.nodes[node].children {
                 let child_workers = self.node_workers(tree, mapping, child);
-                let (count, child_plan) =
-                    self.exact_node(tree, mapping, child, &child_workers, available, budget, samples);
+                let (count, child_plan) = self.exact_node(
+                    tree,
+                    mapping,
+                    child,
+                    &child_workers,
+                    available,
+                    budget,
+                    samples,
+                );
                 // Commit the child plan while processing the remaining
                 // children, then roll back before returning.
                 for (_, seq) in &child_plan {
@@ -247,7 +261,15 @@ impl<'a> DfSearch<'a> {
         let mut assignment = Assignment::new();
         for &root in &tree.roots {
             let workers = self.node_workers(tree, mapping, root);
-            self.guided_node(tree, mapping, root, &workers, available, tvf, &mut assignment);
+            self.guided_node(
+                tree,
+                mapping,
+                root,
+                &workers,
+                available,
+                tvf,
+                &mut assignment,
+            );
         }
         assignment
     }
@@ -266,7 +288,15 @@ impl<'a> DfSearch<'a> {
         if pending.is_empty() {
             for &child in &tree.nodes[node].children {
                 let child_workers = self.node_workers(tree, mapping, child);
-                self.guided_node(tree, mapping, child, &child_workers, available, tvf, assignment);
+                self.guided_node(
+                    tree,
+                    mapping,
+                    child,
+                    &child_workers,
+                    available,
+                    tvf,
+                    assignment,
+                );
             }
             return;
         }
@@ -289,7 +319,7 @@ impl<'a> DfSearch<'a> {
                     self.now,
                 );
                 let value = tvf.value(&state, &action);
-                if best.map_or(true, |(v, _)| value > v) {
+                if best.is_none_or(|(v, _)| value > v) {
                     best = Some((value, q));
                 }
             }
@@ -335,10 +365,10 @@ impl<'a> DfSearch<'a> {
             if let Some(sequence_set) = self.sequences.get(&w) {
                 // Sequences are sorted longest-first, so the first compatible
                 // one is the greedy choice.
-                if let Some(q) = sequence_set
-                    .iter()
-                    .find(|q| q.iter().all(|t| available.contains(&t) && !taken.contains(&t)))
-                {
+                if let Some(q) = sequence_set.iter().find(|q| {
+                    q.iter()
+                        .all(|t| available.contains(&t) && !taken.contains(&t))
+                }) {
                     for t in q.iter() {
                         taken.insert(t);
                     }
@@ -367,12 +397,39 @@ mod tests {
 
     fn fixture() -> Fixture {
         let mut workers = WorkerStore::new();
-        workers.insert(Worker::new(WorkerId(0), Location::new(0.0, 0.0), 10.0, Timestamp(0.0), Timestamp(100.0)));
-        workers.insert(Worker::new(WorkerId(0), Location::new(4.0, 0.0), 10.0, Timestamp(0.0), Timestamp(100.0)));
+        workers.insert(Worker::new(
+            WorkerId(0),
+            Location::new(0.0, 0.0),
+            10.0,
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
+        workers.insert(Worker::new(
+            WorkerId(0),
+            Location::new(4.0, 0.0),
+            10.0,
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
         let mut tasks = TaskStore::new();
-        tasks.insert(Task::new(TaskId(0), Location::new(1.0, 0.0), Timestamp(0.0), Timestamp(100.0)));
-        tasks.insert(Task::new(TaskId(0), Location::new(2.0, 0.0), Timestamp(0.0), Timestamp(100.0)));
-        tasks.insert(Task::new(TaskId(0), Location::new(3.0, 0.0), Timestamp(0.0), Timestamp(100.0)));
+        tasks.insert(Task::new(
+            TaskId(0),
+            Location::new(1.0, 0.0),
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
+        tasks.insert(Task::new(
+            TaskId(0),
+            Location::new(2.0, 0.0),
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
+        tasks.insert(Task::new(
+            TaskId(0),
+            Location::new(3.0, 0.0),
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
         Fixture {
             workers,
             tasks,
@@ -390,12 +447,25 @@ mod tests {
     fn build(f: &Fixture) -> Built {
         let wids: Vec<WorkerId> = f.workers.ids().collect();
         let tids: Vec<TaskId> = f.tasks.ids().collect();
-        let reachable = reachable_tasks(&wids, &tids, &f.workers, &f.tasks, &f.config, Timestamp(0.0));
+        let reachable = reachable_tasks(
+            &wids,
+            &tids,
+            &f.workers,
+            &f.tasks,
+            &f.config,
+            Timestamp(0.0),
+        );
         let mut sequences = HashMap::new();
         for &w in &wids {
             sequences.insert(
                 w,
-                generate_sequences(f.workers.get(w), reachable.of(w), &f.tasks, &f.config, Timestamp(0.0)),
+                generate_sequences(
+                    f.workers.get(w),
+                    reachable.of(w),
+                    &f.tasks,
+                    &f.config,
+                    Timestamp(0.0),
+                ),
             );
         }
         let (graph, mapping) = build_worker_dependency_graph(&wids, &reachable);
@@ -412,10 +482,21 @@ mod tests {
     fn exact_search_assigns_all_tasks_when_possible() {
         let f = fixture();
         let b = build(&f);
-        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let search = DfSearch::new(
+            &f.workers,
+            &f.tasks,
+            &f.config,
+            Timestamp(0.0),
+            &b.sequences,
+            &b.reachable,
+        );
         let mut available: HashSet<TaskId> = f.tasks.ids().collect();
         let assignment = search.exact(&b.tree, &b.mapping, &mut available, None);
-        assert_eq!(assignment.assigned_count(), 3, "all three tasks are assignable");
+        assert_eq!(
+            assignment.assigned_count(),
+            3,
+            "all three tasks are assignable"
+        );
         assert!(assignment
             .validate(&f.workers, &f.tasks, &f.config.travel, Timestamp(0.0))
             .is_empty());
@@ -425,7 +506,14 @@ mod tests {
     fn exact_search_beats_or_matches_greedy() {
         let f = fixture();
         let b = build(&f);
-        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let search = DfSearch::new(
+            &f.workers,
+            &f.tasks,
+            &f.config,
+            Timestamp(0.0),
+            &b.sequences,
+            &b.reachable,
+        );
         let wids: Vec<WorkerId> = f.workers.ids().collect();
         let mut avail_greedy: HashSet<TaskId> = f.tasks.ids().collect();
         let greedy = search.greedy(&wids, &mut avail_greedy);
@@ -438,7 +526,14 @@ mod tests {
     fn exact_search_collects_training_samples() {
         let f = fixture();
         let b = build(&f);
-        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let search = DfSearch::new(
+            &f.workers,
+            &f.tasks,
+            &f.config,
+            Timestamp(0.0),
+            &b.sequences,
+            &b.reachable,
+        );
         let mut available: HashSet<TaskId> = f.tasks.ids().collect();
         let mut samples = Vec::new();
         let _ = search.exact(&b.tree, &b.mapping, &mut available, Some(&mut samples));
@@ -452,7 +547,14 @@ mod tests {
     fn guided_search_respects_task_exclusivity() {
         let f = fixture();
         let b = build(&f);
-        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let search = DfSearch::new(
+            &f.workers,
+            &f.tasks,
+            &f.config,
+            Timestamp(0.0),
+            &b.sequences,
+            &b.reachable,
+        );
         let tvf = TaskValueFunction::new(8, 0);
         let mut available: HashSet<TaskId> = f.tasks.ids().collect();
         let assignment = search.guided(&b.tree, &b.mapping, &mut available, &tvf);
@@ -468,7 +570,14 @@ mod tests {
     fn trained_tvf_recovers_near_exact_quality_on_the_fixture() {
         let f = fixture();
         let b = build(&f);
-        let search = DfSearch::new(&f.workers, &f.tasks, &f.config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let search = DfSearch::new(
+            &f.workers,
+            &f.tasks,
+            &f.config,
+            Timestamp(0.0),
+            &b.sequences,
+            &b.reachable,
+        );
         let mut available: HashSet<TaskId> = f.tasks.ids().collect();
         let mut samples = Vec::new();
         let exact = search.exact(&b.tree, &b.mapping, &mut available, Some(&mut samples));
@@ -491,7 +600,14 @@ mod tests {
         let b = build(&f);
         let mut config = f.config;
         config.search_node_budget = 0;
-        let search = DfSearch::new(&f.workers, &f.tasks, &config, Timestamp(0.0), &b.sequences, &b.reachable);
+        let search = DfSearch::new(
+            &f.workers,
+            &f.tasks,
+            &config,
+            Timestamp(0.0),
+            &b.sequences,
+            &b.reachable,
+        );
         let mut available: HashSet<TaskId> = f.tasks.ids().collect();
         let assignment = search.exact(&b.tree, &b.mapping, &mut available, None);
         assert!(assignment

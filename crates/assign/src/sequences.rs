@@ -71,9 +71,9 @@ pub fn generate_sequences(
     let mut keys: Vec<Vec<TaskId>> = best.keys().cloned().collect();
     if !config.include_subsets {
         keys.retain(|k| {
-            !best.keys().any(|other| {
-                other.len() > k.len() && k.iter().all(|t| other.contains(t))
-            })
+            !best
+                .keys()
+                .any(|other| other.len() > k.len() && k.iter().all(|t| other.contains(t)))
         });
     }
     let mut sequences: Vec<(TaskSequence, Timestamp)> = keys
@@ -114,11 +114,15 @@ fn dfs(
             let completion = sequence.completion_time(worker, tasks, &config.travel, now);
             let mut key: Vec<TaskId> = current.clone();
             key.sort_unstable();
-            let entry = best.entry(key).or_insert_with(|| (sequence.clone(), completion));
+            let entry = best
+                .entry(key)
+                .or_insert_with(|| (sequence.clone(), completion));
             if completion < entry.1 {
                 *entry = (sequence.clone(), completion);
             }
-            dfs(worker, reachable, tasks, config, now, current, max_len, best);
+            dfs(
+                worker, reachable, tasks, config, now, current, max_len, best,
+            );
         }
         current.pop();
     }
@@ -132,13 +136,24 @@ mod tests {
     fn store(line: &[(f64, f64)]) -> TaskStore {
         let mut s = TaskStore::new();
         for &(x, e) in line {
-            s.insert(Task::new(TaskId(0), Location::new(x, 0.0), Timestamp(0.0), Timestamp(e)));
+            s.insert(Task::new(
+                TaskId(0),
+                Location::new(x, 0.0),
+                Timestamp(0.0),
+                Timestamp(e),
+            ));
         }
         s
     }
 
     fn worker_at_origin(d: f64, off: f64) -> Worker {
-        Worker::new(WorkerId(0), Location::new(0.0, 0.0), d, Timestamp(0.0), Timestamp(off))
+        Worker::new(
+            WorkerId(0),
+            Location::new(0.0, 0.0),
+            d,
+            Timestamp(0.0),
+            Timestamp(off),
+        )
     }
 
     #[test]
@@ -148,7 +163,13 @@ mod tests {
         let tasks = store(&[(1.0, 100.0), (2.0, 100.0)]);
         let worker = worker_at_origin(10.0, 100.0);
         let config = AssignConfig::unit_speed();
-        let qs = generate_sequences(&worker, &[TaskId(0), TaskId(1)], &tasks, &config, Timestamp(0.0));
+        let qs = generate_sequences(
+            &worker,
+            &[TaskId(0), TaskId(1)],
+            &tasks,
+            &config,
+            Timestamp(0.0),
+        );
         let pair = qs
             .iter()
             .find(|s| s.len() == 2)
@@ -165,7 +186,13 @@ mod tests {
         let tasks = store(&[(1.0, 100.0), (2.0, 1.5)]);
         let worker = worker_at_origin(10.0, 100.0);
         let config = AssignConfig::unit_speed();
-        let qs = generate_sequences(&worker, &[TaskId(0), TaskId(1)], &tasks, &config, Timestamp(0.0));
+        let qs = generate_sequences(
+            &worker,
+            &[TaskId(0), TaskId(1)],
+            &tasks,
+            &config,
+            Timestamp(0.0),
+        );
         // (s1) alone is valid (reached at t=2 >= 1.5? no: travel 2.0 > 1.5 so
         // s1 alone is invalid too) — only (s0) and nothing containing s1.
         assert!(qs.iter().all(|s| !s.contains(TaskId(1))));

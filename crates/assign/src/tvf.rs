@@ -103,7 +103,9 @@ impl TaskValueFunction {
 
     /// Predicted value `TVF(s_t, a_t)` of one state-action pair.
     pub fn value(&self, state: &StateFeatures, action: &ActionFeatures) -> f64 {
-        self.forward(&feature_vector(state, action)).value().get(0, 0)
+        self.forward(&feature_vector(state, action))
+            .value()
+            .get(0, 0)
     }
 
     /// Trainable parameters.
@@ -184,9 +186,25 @@ mod tests {
     fn action_features_are_computed_from_the_sequence() {
         let travel = TravelModel::euclidean(1.0);
         let mut tasks = TaskStore::new();
-        tasks.insert(Task::new(TaskId(0), Location::new(2.0, 0.0), Timestamp(0.0), Timestamp(100.0)));
-        tasks.insert(Task::new(TaskId(0), Location::new(4.0, 0.0), Timestamp(0.0), Timestamp(100.0)));
-        let worker = Worker::new(WorkerId(0), Location::new(0.0, 0.0), 10.0, Timestamp(0.0), Timestamp(50.0));
+        tasks.insert(Task::new(
+            TaskId(0),
+            Location::new(2.0, 0.0),
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
+        tasks.insert(Task::new(
+            TaskId(0),
+            Location::new(4.0, 0.0),
+            Timestamp(0.0),
+            Timestamp(100.0),
+        ));
+        let worker = Worker::new(
+            WorkerId(0),
+            Location::new(0.0, 0.0),
+            10.0,
+            Timestamp(0.0),
+            Timestamp(50.0),
+        );
         let seq = TaskSequence::from_ids([TaskId(0), TaskId(1)]);
         let f = ActionFeatures::compute(&worker, &seq, &tasks, &travel, Timestamp(0.0));
         assert_eq!(f.sequence_len, 2);
@@ -209,7 +227,11 @@ mod tests {
         let mut samples = Vec::new();
         for len in 0..4usize {
             for w in 1..6usize {
-                samples.push((sample_state(w, 10 * w), sample_action(len), 2.0 * len as f64));
+                samples.push((
+                    sample_state(w, 10 * w),
+                    sample_action(len),
+                    2.0 * len as f64,
+                ));
             }
         }
         let mut tvf = TaskValueFunction::new(16, 1);

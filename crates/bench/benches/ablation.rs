@@ -12,12 +12,14 @@ use std::time::Duration;
 
 fn ablation_tvf_vs_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/tvf_vs_exact");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let trace = small_trace(0.05);
     let (workers, tasks, now) = snapshot_at_mid(&trace);
     let exact = Planner::new(AssignConfig::default(), SearchMode::Exact);
-    let guided =
-        Planner::new(AssignConfig::default(), SearchMode::Guided).with_tvf(TaskValueFunction::new(16, 0));
+    let guided = Planner::new(AssignConfig::default(), SearchMode::Guided)
+        .with_tvf(TaskValueFunction::new(16, 0));
     group.bench_function("exact_dfsearch", |b| {
         b.iter(|| {
             std::hint::black_box(
@@ -43,7 +45,9 @@ fn ablation_tvf_vs_exact(c: &mut Criterion) {
 
 fn ablation_dependency_separation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/worker_dependency_separation");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let trace = small_trace(0.05);
     let (workers, tasks, now) = snapshot_at_mid(&trace);
     for (name, separation) in [("with_separation", true), ("without_separation", false)] {
@@ -68,7 +72,9 @@ fn ablation_dependency_separation(c: &mut Criterion) {
 
 fn ablation_dynamic_adjacency(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/ddgnn_dynamic_adjacency");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let trace = small_trace(0.03);
     let config = PipelineConfig {
         grid_cells_per_side: 4,
@@ -90,7 +96,9 @@ fn ablation_dynamic_adjacency(c: &mut Criterion) {
 
 fn ablation_sequence_cap(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/max_sequence_len");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let trace = small_trace(0.05);
     let (workers, tasks, now) = snapshot_at_mid(&trace);
     for cap in [1usize, 2, 3] {

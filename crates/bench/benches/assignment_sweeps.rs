@@ -29,7 +29,9 @@ where
     F: Fn(f64) -> TraceSpec,
 {
     let mut group = c.benchmark_group(group_name);
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for &value in values {
         let trace = SyntheticTrace::generate(make_spec(value));
         let (workers, tasks, now) = snapshot_at_mid(&trace);
@@ -53,22 +55,29 @@ where
 /// Fig. 7: effect of |S| on the per-instance planning cost.
 fn fig7_tasks(c: &mut Criterion) {
     bench_axis(c, "fig7/cpu_vs_tasks", &[7_000.0, 9_000.0, 11_000.0], |s| {
-        TraceSpec::yueche().scaled(0.04).with_tasks((s * 0.04) as usize)
+        TraceSpec::yueche()
+            .scaled(0.04)
+            .with_tasks((s * 0.04) as usize)
     });
 }
 
 /// Fig. 8: effect of |W|.
 fn fig8_workers(c: &mut Criterion) {
     bench_axis(c, "fig8/cpu_vs_workers", &[200.0, 400.0, 600.0], |w| {
-        TraceSpec::yueche().scaled(0.04).with_workers((w * 0.04) as usize)
+        TraceSpec::yueche()
+            .scaled(0.04)
+            .with_workers((w * 0.04) as usize)
     });
 }
 
 /// Fig. 9: effect of the reachable distance d.
 fn fig9_reachable(c: &mut Criterion) {
-    bench_axis(c, "fig9/cpu_vs_reachable_distance", &[0.05, 0.5, 1.0, 5.0], |d| {
-        TraceSpec::yueche().scaled(0.04).with_reachable_distance(d)
-    });
+    bench_axis(
+        c,
+        "fig9/cpu_vs_reachable_distance",
+        &[0.05, 0.5, 1.0, 5.0],
+        |d| TraceSpec::yueche().scaled(0.04).with_reachable_distance(d),
+    );
 }
 
 /// Fig. 10: effect of the availability window off−on.

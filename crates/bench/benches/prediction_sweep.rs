@@ -12,16 +12,27 @@ use std::time::Duration;
 
 fn models(cells: usize, k: usize) -> Vec<(&'static str, Box<dyn DemandPredictor>)> {
     vec![
-        ("LSTM", Box::new(LstmPredictor::new(k, 12, 0)) as Box<dyn DemandPredictor>),
-        ("Graph-Wavenet", Box::new(GraphWaveNetPredictor::new(cells, k, 12, 8, 0))),
-        ("DDGNN", Box::new(DdgnnPredictor::with_defaults(cells, k, 0))),
+        (
+            "LSTM",
+            Box::new(LstmPredictor::new(k, 12, 0)) as Box<dyn DemandPredictor>,
+        ),
+        (
+            "Graph-Wavenet",
+            Box::new(GraphWaveNetPredictor::new(cells, k, 12, 8, 0)),
+        ),
+        (
+            "DDGNN",
+            Box::new(DdgnnPredictor::with_defaults(cells, k, 0)),
+        ),
     ]
 }
 
 /// Fig. 5c/6c: training cost per epoch, per model, across ΔT.
 fn training_epoch(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5/train_epoch");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let trace = small_trace(0.03);
     for delta_t in [5.0, 9.0] {
         let config = PipelineConfig {
@@ -60,7 +71,9 @@ fn training_epoch(c: &mut Criterion) {
 /// Fig. 5d/6d: inference (testing) cost per model.
 fn inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5/test_pass");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let trace = small_trace(0.03);
     let config = PipelineConfig {
         grid_cells_per_side: 4,

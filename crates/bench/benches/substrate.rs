@@ -15,7 +15,9 @@ use std::time::Duration;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/matmul");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     for n in [32usize, 64, 128] {
         let a = Matrix::filled(n, n, 0.5);
         let b = Matrix::filled(n, n, 0.25);
@@ -28,13 +30,18 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_spatial_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/spatial_range_query");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     let area = BoundingBox::new(Location::new(0.0, 0.0), Location::new(10.0, 10.0));
     for points in [1_000usize, 10_000] {
         let mut rng = StdRng::seed_from_u64(1);
         let mut index = SpatialIndex::new(UniformGrid::new(GridSpec::new(area, 20, 20)));
         for i in 0..points as u32 {
-            index.insert(Location::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)), i);
+            index.insert(
+                Location::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)),
+                i,
+            );
         }
         group.bench_with_input(BenchmarkId::from_parameter(points), &points, |bench, _| {
             bench.iter(|| {
@@ -47,7 +54,9 @@ fn bench_spatial_index(c: &mut Criterion) {
 
 fn bench_graph_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/worker_dependency_separation");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     for n in [50usize, 150] {
         let mut rng = StdRng::seed_from_u64(2);
         let mut graph = UnGraph::new(n);
@@ -72,7 +81,9 @@ fn bench_graph_partition(c: &mut Criterion) {
 
 fn bench_sequence_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/maximal_valid_sequences");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     let trace = small_trace(0.05);
     let (workers, tasks, now) = snapshot_at_mid(&trace);
     let config = AssignConfig::default();

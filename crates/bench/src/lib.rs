@@ -16,12 +16,30 @@ pub fn small_trace(scale: f64) -> datawa_sim::SyntheticTrace {
     datawa_sim::SyntheticTrace::generate(datawa_sim::TraceSpec::yueche().scaled(scale))
 }
 
-/// Shared helper: a planning snapshot (available workers, open tasks) taken at
-/// the middle of the trace horizon.
+/// Shared helper: a planning snapshot (available workers, open tasks) taken
+/// near the middle of the trace horizon.
+///
+/// Task valid times are short (40 s by default), so a single fixed instant can
+/// land between publications on small traces; this scans a few instants around
+/// the midpoint and returns the first with both open tasks and available
+/// workers (falling back to the exact midpoint).
 pub fn snapshot_at_mid(
     trace: &datawa_sim::SyntheticTrace,
-) -> (Vec<datawa_core::WorkerId>, Vec<datawa_core::TaskId>, datawa_core::Timestamp) {
-    let now = datawa_core::Timestamp(trace.spec.horizon * 0.5);
+) -> (
+    Vec<datawa_core::WorkerId>,
+    Vec<datawa_core::TaskId>,
+    datawa_core::Timestamp,
+) {
+    let mid = trace.spec.horizon * 0.5;
+    for step in 0..40 {
+        let now = datawa_core::Timestamp(mid + step as f64 * 10.0);
+        let workers = trace.workers.available_at(now);
+        let tasks = trace.tasks.open_at(now);
+        if !workers.is_empty() && !tasks.is_empty() {
+            return (workers, tasks, now);
+        }
+    }
+    let now = datawa_core::Timestamp(mid);
     (
         trace.workers.available_at(now),
         trace.tasks.open_at(now),

@@ -82,10 +82,7 @@ impl Assignment {
 
     /// The set of all assigned tasks `A.S = ∪_w VR(S_w)`.
     pub fn assigned_tasks(&self) -> HashSet<TaskId> {
-        self.sequences
-            .values()
-            .flat_map(|s| s.iter())
-            .collect()
+        self.sequences.values().flat_map(|s| s.iter()).collect()
     }
 
     /// `|A.S|`, the objective the ATA problem maximises. Counts distinct tasks.
@@ -242,7 +239,9 @@ mod tests {
         let mut a = Assignment::new();
         a.set(WorkerId(0), TaskSequence::from_ids([TaskId(0), TaskId(1)]));
         a.set(WorkerId(1), TaskSequence::from_ids([TaskId(3)]));
-        assert!(a.validate(&workers, &tasks, &travel, Timestamp(0.0)).is_empty());
+        assert!(a
+            .validate(&workers, &tasks, &travel, Timestamp(0.0))
+            .is_empty());
     }
 
     #[test]
@@ -270,7 +269,10 @@ mod tests {
     #[test]
     fn stats_report_sequence_lengths() {
         let mut a = Assignment::new();
-        a.set(WorkerId(0), TaskSequence::from_ids([TaskId(0), TaskId(1), TaskId(2)]));
+        a.set(
+            WorkerId(0),
+            TaskSequence::from_ids([TaskId(0), TaskId(1), TaskId(2)]),
+        );
         a.set(WorkerId(1), TaskSequence::from_ids([TaskId(3)]));
         let s = a.stats();
         assert_eq!(s.assigned_tasks, 4);

@@ -40,7 +40,10 @@ mod tests {
 
     #[test]
     fn errors_display_readably() {
-        assert_eq!(format!("{}", CoreError::UnknownTask(TaskId(3))), "unknown task s3");
+        assert_eq!(
+            format!("{}", CoreError::UnknownTask(TaskId(3))),
+            "unknown task s3"
+        );
         assert_eq!(
             format!("{}", CoreError::UnknownWorker(WorkerId(2))),
             "unknown worker w2"

@@ -37,8 +37,12 @@ impl fmt::Display for ValidityViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidityViolation::Expiration(t) => write!(f, "{t} reached after its expiration"),
-            ValidityViolation::OfflineTime(t) => write!(f, "{t} reached after the worker goes offline"),
-            ValidityViolation::OutOfRange(t) => write!(f, "{t} outside the worker's reachable range"),
+            ValidityViolation::OfflineTime(t) => {
+                write!(f, "{t} reached after the worker goes offline")
+            }
+            ValidityViolation::OutOfRange(t) => {
+                write!(f, "{t} outside the worker's reachable range")
+            }
             ValidityViolation::Duplicate(t) => write!(f, "{t} appears more than once"),
         }
     }
@@ -144,7 +148,7 @@ impl TaskSequence {
             let task = tasks.get(tid);
             let dist = travel.travel_distance(&current_loc, &task.location);
             let tt = travel.travel_time(&current_loc, &task.location);
-            current_time = current_time + tt;
+            current_time += tt;
             total_distance += dist;
             per_task.push(current_time);
             current_loc = task.location;
@@ -188,7 +192,8 @@ impl TaskSequence {
             if arrive.0 >= worker.off().0 {
                 return Some(ValidityViolation::OfflineTime(tid));
             }
-            if travel.travel_distance(&worker.location, &task.location) > worker.reachable_distance {
+            if travel.travel_distance(&worker.location, &task.location) > worker.reachable_distance
+            {
                 return Some(ValidityViolation::OutOfRange(tid));
             }
         }
@@ -267,9 +272,24 @@ mod tests {
         );
         let mut store = TaskStore::new();
         // Tasks laid out on a line at x = 1, 2, 3 with generous deadlines.
-        store.insert(Task::new(TaskId(0), Location::new(1.0, 0.0), Timestamp(0.0), Timestamp(50.0)));
-        store.insert(Task::new(TaskId(0), Location::new(2.0, 0.0), Timestamp(0.0), Timestamp(50.0)));
-        store.insert(Task::new(TaskId(0), Location::new(3.0, 0.0), Timestamp(0.0), Timestamp(50.0)));
+        store.insert(Task::new(
+            TaskId(0),
+            Location::new(1.0, 0.0),
+            Timestamp(0.0),
+            Timestamp(50.0),
+        ));
+        store.insert(Task::new(
+            TaskId(0),
+            Location::new(2.0, 0.0),
+            Timestamp(0.0),
+            Timestamp(50.0),
+        ));
+        store.insert(Task::new(
+            TaskId(0),
+            Location::new(3.0, 0.0),
+            Timestamp(0.0),
+            Timestamp(50.0),
+        ));
         (worker, store, TravelModel::euclidean(1.0))
     }
 
@@ -278,7 +298,10 @@ mod tests {
         let (w, s, travel) = fixture();
         let seq = TaskSequence::from_ids([TaskId(0), TaskId(1), TaskId(2)]);
         let arr = seq.arrival_times(&w, &s, &travel, Timestamp(0.0));
-        assert_eq!(arr.per_task, vec![Timestamp(1.0), Timestamp(2.0), Timestamp(3.0)]);
+        assert_eq!(
+            arr.per_task,
+            vec![Timestamp(1.0), Timestamp(2.0), Timestamp(3.0)]
+        );
         assert_eq!(arr.completion, Timestamp(3.0));
         assert!((arr.total_distance - 3.0).abs() < 1e-12);
     }
@@ -297,7 +320,12 @@ mod tests {
     fn expiration_violation_detected() {
         let (w, mut s, travel) = fixture();
         // Task expiring at t=0.5 but 1s away.
-        let tid = s.insert(Task::new(TaskId(0), Location::new(1.0, 0.0), Timestamp(0.0), Timestamp(0.5)));
+        let tid = s.insert(Task::new(
+            TaskId(0),
+            Location::new(1.0, 0.0),
+            Timestamp(0.0),
+            Timestamp(0.5),
+        ));
         let seq = TaskSequence::from_ids([tid]);
         assert_eq!(
             seq.check_validity(&w, &s, &travel, Timestamp(0.0)),
@@ -342,8 +370,14 @@ mod tests {
         let (w, s, travel) = fixture();
         let seq = TaskSequence::from_ids([TaskId(0), TaskId(1), TaskId(2)]);
         assert!(seq.is_valid(&w, &s, &travel, Timestamp(0.0)));
-        assert_eq!(seq.completion_time(&w, &s, &travel, Timestamp(0.0)), Timestamp(3.0));
-        assert_eq!(seq.total_travel_time(&w, &s, &travel, Timestamp(0.0)), Duration(3.0));
+        assert_eq!(
+            seq.completion_time(&w, &s, &travel, Timestamp(0.0)),
+            Timestamp(3.0)
+        );
+        assert_eq!(
+            seq.total_travel_time(&w, &s, &travel, Timestamp(0.0)),
+            Duration(3.0)
+        );
     }
 
     #[test]

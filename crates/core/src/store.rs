@@ -9,6 +9,7 @@ use crate::task::{Task, TaskId};
 use crate::time::Timestamp;
 use crate::worker::{Worker, WorkerId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Owning collection of tasks, addressable by [`TaskId`].
 ///
@@ -44,7 +45,8 @@ impl TaskStore {
         expiration: Timestamp,
     ) -> TaskId {
         let id = TaskId(self.tasks.len() as u32);
-        self.tasks.push(Task::new(id, location, publication, expiration));
+        self.tasks
+            .push(Task::new(id, location, publication, expiration));
         id
     }
 
@@ -122,7 +124,9 @@ pub struct WorkerStore {
 impl WorkerStore {
     /// Creates an empty store.
     pub fn new() -> WorkerStore {
-        WorkerStore { workers: Vec::new() }
+        WorkerStore {
+            workers: Vec::new(),
+        }
     }
 
     /// Creates a store from pre-built workers, re-indexing their ids densely
@@ -207,6 +211,165 @@ impl WorkerStore {
     }
 }
 
+/// Incrementally maintained set of *candidate open* task ids.
+///
+/// The streaming engine keeps one of these next to the [`TaskStore`] so that
+/// finding the open tasks at a planning instant costs `O(|open|)` instead of a
+/// full `O(|all tasks|)` rescan: arrivals [`OpenTaskView::insert`] in
+/// `O(log n)`, expirations and served tasks [`OpenTaskView::remove`] in
+/// `O(log n)`, and iteration yields ids in ascending order — exactly the
+/// order the legacy full-scan loops produced, which keeps planning inputs
+/// (and therefore assignment outputs) identical between the two drivers.
+///
+/// The view is a *candidate* set: a caller that has no expiration events
+/// (the legacy synchronous loop) may leave expired tasks in the view and
+/// filter them with [`Task::is_open_at`] while iterating; an event-driven
+/// caller removes them eagerly when the expiration event fires.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OpenTaskView {
+    open: BTreeSet<TaskId>,
+}
+
+impl OpenTaskView {
+    /// Creates an empty view.
+    pub fn new() -> OpenTaskView {
+        OpenTaskView::default()
+    }
+
+    /// Adds a task id to the view (`O(log n)`). Returns `false` if already
+    /// present.
+    #[inline]
+    pub fn insert(&mut self, id: TaskId) -> bool {
+        self.open.insert(id)
+    }
+
+    /// Removes a task id from the view (`O(log n)`). Returns `true` if it was
+    /// present.
+    #[inline]
+    pub fn remove(&mut self, id: TaskId) -> bool {
+        self.open.remove(&id)
+    }
+
+    /// Whether the id is in the view.
+    #[inline]
+    pub fn contains(&self, id: TaskId) -> bool {
+        self.open.contains(&id)
+    }
+
+    /// Number of candidate ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    /// Iterates the candidate ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.open.iter().copied()
+    }
+
+    /// The ids (ascending) of tasks that are really open at `now`, removing
+    /// from the view every candidate whose lifetime has already ended (lazy
+    /// expiration for callers without expiration events).
+    pub fn open_at(&mut self, store: &TaskStore, now: Timestamp) -> Vec<TaskId> {
+        let mut open = Vec::with_capacity(self.open.len());
+        let mut expired: Vec<TaskId> = Vec::new();
+        for &id in &self.open {
+            let task = store.get(id);
+            if task.is_open_at(now) {
+                open.push(id);
+            } else if task.is_expired_at(now) {
+                expired.push(id);
+            }
+        }
+        for id in expired {
+            self.open.remove(&id);
+        }
+        open
+    }
+}
+
+/// Incrementally maintained set of *candidate available* worker ids, the
+/// worker-side companion of [`OpenTaskView`].
+///
+/// Worker-online transitions [`AvailableWorkerView::insert`] in `O(log n)`,
+/// offline transitions [`AvailableWorkerView::remove`] in `O(log n)`, and
+/// [`AvailableWorkerView::available_at`] lazily prunes workers whose window
+/// closed for callers that do not schedule offline events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AvailableWorkerView {
+    available: BTreeSet<WorkerId>,
+}
+
+impl AvailableWorkerView {
+    /// Creates an empty view.
+    pub fn new() -> AvailableWorkerView {
+        AvailableWorkerView::default()
+    }
+
+    /// Adds a worker id to the view (`O(log n)`). Returns `false` if already
+    /// present.
+    #[inline]
+    pub fn insert(&mut self, id: WorkerId) -> bool {
+        self.available.insert(id)
+    }
+
+    /// Removes a worker id from the view (`O(log n)`). Returns `true` if it
+    /// was present.
+    #[inline]
+    pub fn remove(&mut self, id: WorkerId) -> bool {
+        self.available.remove(&id)
+    }
+
+    /// Whether the id is in the view.
+    #[inline]
+    pub fn contains(&self, id: WorkerId) -> bool {
+        self.available.contains(&id)
+    }
+
+    /// Number of candidate ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.available.len()
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.available.is_empty()
+    }
+
+    /// Iterates the candidate ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        self.available.iter().copied()
+    }
+
+    /// The ids (ascending) of workers really available at `now`, removing
+    /// from the view every candidate whose availability window has already
+    /// closed (lazy retirement for callers without offline events).
+    pub fn available_at(&mut self, store: &WorkerStore, now: Timestamp) -> Vec<WorkerId> {
+        let mut available = Vec::with_capacity(self.available.len());
+        let mut gone: Vec<WorkerId> = Vec::new();
+        for &id in &self.available {
+            let worker = store.get(id);
+            if worker.is_available_at(now) {
+                available.push(id);
+            } else if now.0 >= worker.off().0 {
+                gone.push(id);
+            }
+        }
+        for id in gone {
+            self.available.remove(&id);
+        }
+        available
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,7 +398,13 @@ mod tests {
 
     #[test]
     fn worker_store_reindexes_ids() {
-        let w = Worker::new(WorkerId(99), Location::ORIGIN, 1.0, Timestamp(0.0), Timestamp(10.0));
+        let w = Worker::new(
+            WorkerId(99),
+            Location::ORIGIN,
+            1.0,
+            Timestamp(0.0),
+            Timestamp(10.0),
+        );
         let mut s = WorkerStore::new();
         let id = s.insert(w);
         assert_eq!(id, WorkerId(0));
@@ -245,11 +414,78 @@ mod tests {
     #[test]
     fn available_at_uses_windows() {
         let mut s = WorkerStore::new();
-        s.insert(Worker::new(WorkerId(0), Location::ORIGIN, 1.0, Timestamp(0.0), Timestamp(10.0)));
-        s.insert(Worker::new(WorkerId(0), Location::ORIGIN, 1.0, Timestamp(20.0), Timestamp(30.0)));
+        s.insert(Worker::new(
+            WorkerId(0),
+            Location::ORIGIN,
+            1.0,
+            Timestamp(0.0),
+            Timestamp(10.0),
+        ));
+        s.insert(Worker::new(
+            WorkerId(0),
+            Location::ORIGIN,
+            1.0,
+            Timestamp(20.0),
+            Timestamp(30.0),
+        ));
         assert_eq!(s.available_at(Timestamp(5.0)), vec![WorkerId(0)]);
         assert_eq!(s.available_at(Timestamp(25.0)), vec![WorkerId(1)]);
         assert!(s.available_at(Timestamp(15.0)).is_empty());
+    }
+
+    #[test]
+    fn open_task_view_tracks_and_prunes() {
+        let mut s = TaskStore::new();
+        let a = s.insert_with_location(Location::ORIGIN, Timestamp(0.0), Timestamp(5.0));
+        let b = s.insert_with_location(Location::ORIGIN, Timestamp(2.0), Timestamp(9.0));
+        let mut view = OpenTaskView::new();
+        view.insert(a);
+        view.insert(b);
+        assert_eq!(view.open_at(&s, Timestamp(1.0)), vec![a]);
+        assert_eq!(view.open_at(&s, Timestamp(3.0)), vec![a, b]);
+        // After a's expiration the lazy scan prunes it from the view.
+        assert_eq!(view.open_at(&s, Timestamp(6.0)), vec![b]);
+        assert_eq!(view.len(), 1);
+        assert!(!view.contains(a));
+        assert!(view.remove(b));
+        assert!(view.is_empty());
+    }
+
+    #[test]
+    fn available_worker_view_tracks_and_prunes() {
+        let mut s = WorkerStore::new();
+        let a = s.insert(Worker::new(
+            WorkerId(0),
+            Location::ORIGIN,
+            1.0,
+            Timestamp(0.0),
+            Timestamp(10.0),
+        ));
+        let b = s.insert(Worker::new(
+            WorkerId(0),
+            Location::ORIGIN,
+            1.0,
+            Timestamp(5.0),
+            Timestamp(30.0),
+        ));
+        let mut view = AvailableWorkerView::new();
+        view.insert(a);
+        view.insert(b);
+        assert_eq!(view.available_at(&s, Timestamp(6.0)), vec![a, b]);
+        // a's window closed at 10: pruned lazily.
+        assert_eq!(view.available_at(&s, Timestamp(12.0)), vec![b]);
+        assert_eq!(view.len(), 1);
+        assert!(!view.contains(a));
+    }
+
+    #[test]
+    fn views_iterate_in_ascending_id_order() {
+        let mut view = OpenTaskView::new();
+        for raw in [5u32, 1, 3, 2] {
+            view.insert(TaskId(raw));
+        }
+        let order: Vec<u32> = view.iter().map(|t| t.0).collect();
+        assert_eq!(order, vec![1, 2, 3, 5]);
     }
 
     #[test]

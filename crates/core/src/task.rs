@@ -47,7 +47,12 @@ pub struct Task {
 impl Task {
     /// Creates a new task. Panics (debug builds) if the expiration precedes the
     /// publication.
-    pub fn new(id: TaskId, location: Location, publication: Timestamp, expiration: Timestamp) -> Task {
+    pub fn new(
+        id: TaskId,
+        location: Location,
+        publication: Timestamp,
+        expiration: Timestamp,
+    ) -> Task {
         debug_assert!(
             expiration.0 >= publication.0,
             "task {id}: expiration {expiration} precedes publication {publication}"
@@ -109,7 +114,12 @@ mod tests {
     use super::*;
 
     fn task(p: f64, e: f64) -> Task {
-        Task::new(TaskId(1), Location::new(1.0, 1.0), Timestamp(p), Timestamp(e))
+        Task::new(
+            TaskId(1),
+            Location::new(1.0, 1.0),
+            Timestamp(p),
+            Timestamp(e),
+        )
     }
 
     #[test]

@@ -315,7 +315,10 @@ mod tests {
         assert_eq!(c.start, Timestamp(5.0));
         assert_eq!(c.end, Timestamp(10.0));
         let d = TimeInterval::new(Timestamp(10.0), Timestamp(12.0));
-        assert!(a.intersect(&d).is_none(), "touching intervals do not overlap");
+        assert!(
+            a.intersect(&d).is_none(),
+            "touching intervals do not overlap"
+        );
     }
 
     #[test]
@@ -332,7 +335,10 @@ mod tests {
     #[test]
     fn cmp_timestamps_handles_nan() {
         use std::cmp::Ordering;
-        assert_eq!(cmp_timestamps(Timestamp(1.0), Timestamp(2.0)), Ordering::Less);
+        assert_eq!(
+            cmp_timestamps(Timestamp(1.0), Timestamp(2.0)),
+            Ordering::Less
+        );
         assert_eq!(
             cmp_timestamps(Timestamp(f64::NAN), Timestamp(2.0)),
             Ordering::Greater

@@ -205,7 +205,13 @@ mod tests {
     use crate::task::TaskId;
 
     fn basic_worker() -> Worker {
-        Worker::new(WorkerId(0), Location::new(0.0, 0.0), 2.0, Timestamp(0.0), Timestamp(100.0))
+        Worker::new(
+            WorkerId(0),
+            Location::new(0.0, 0.0),
+            2.0,
+            Timestamp(0.0),
+            Timestamp(100.0),
+        )
     }
 
     fn task_at(x: f64, y: f64, e: f64) -> Task {

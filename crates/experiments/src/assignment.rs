@@ -2,11 +2,19 @@
 //! the CPU time per time instance for the five methods (Greedy, FTA, DTA,
 //! DTA+TP, DATA-WA) while sweeping |S|, |W|, the reachable distance `d`, the
 //! availability window `off − on` and the task valid time `e − p`.
+//!
+//! Since the `datawa-stream` migration every sweep runs on the discrete-event
+//! engine (in replay-compatible mode, so the reported numbers are identical
+//! to the legacy synchronous driver at `replan_every = 1`); the
+//! `DATAWA_REPLAN` / `DATAWA_REPLAN_DT` environment variables expose the
+//! engine's event- and time-batched re-planning to every binary.
 
 use crate::params::{Dataset, ExperimentScale};
 use datawa_assign::PolicyKind;
 use datawa_predict::DdgnnPredictor;
-use datawa_sim::{run_policy, run_prediction, train_tvf_on_prefix, PipelineConfig, SyntheticTrace, TraceSpec};
+use datawa_sim::{
+    run_policy, run_prediction, train_tvf_on_prefix, PipelineConfig, SyntheticTrace, TraceSpec,
+};
 use serde::Serialize;
 
 /// The sweep axis of one assignment experiment.
@@ -80,6 +88,8 @@ pub struct AssignmentRow {
     pub assigned_tasks: usize,
     /// Mean planning CPU time per time instance, in seconds.
     pub cpu_seconds: f64,
+    /// Arrival events processed by the engine for this run.
+    pub events: usize,
 }
 
 /// Runs one assignment sweep (one of Fig. 7–11) on one dataset for all five
@@ -100,7 +110,11 @@ pub fn assignment_sweep(
         let mut predictor = DdgnnPredictor::with_defaults(cells, config.k, spec.seed);
         let (_, predicted) = run_prediction(&mut predictor, &trace, config);
         for policy in PolicyKind::all() {
-            let predictions: &[_] = if policy.uses_prediction() { &predicted } else { &[] };
+            let predictions: &[_] = if policy.uses_prediction() {
+                &predicted
+            } else {
+                &[]
+            };
             // DATA-WA trains its TVF on DFSearch samples from this trace.
             let tvf_for_run = if policy == PolicyKind::DataWa {
                 Some(train_tvf_on_prefix(&trace, config))
@@ -115,6 +129,7 @@ pub fn assignment_sweep(
                 policy: summary.policy,
                 assigned_tasks: summary.assigned_tasks,
                 cpu_seconds: summary.mean_cpu_seconds,
+                events: summary.events,
             });
         }
     }

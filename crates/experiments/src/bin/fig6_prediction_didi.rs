@@ -2,14 +2,21 @@
 //! Didi trace — Average Precision, assigned tasks under DTA+TP, training time
 //! and testing time for LSTM, Graph-WaveNet and DDGNN.
 
-use datawa_experiments::{format_table, prediction_effect_of_delta_t, Dataset, ExperimentScale, Table};
+use datawa_experiments::{
+    format_table, prediction_effect_of_delta_t, Dataset, ExperimentScale, Table,
+};
 
 fn main() {
     let scale = ExperimentScale::from_env();
     let config = datawa_experiments::params::pipeline_config_from_env();
     let rows = prediction_effect_of_delta_t(Dataset::Didi, scale, &config, true);
     let mut table = Table::new(vec![
-        "ΔT (s)", "Model", "Average Precision", "Assigned tasks (DTA+TP)", "Train time (s)", "Test time (s)",
+        "ΔT (s)",
+        "Model",
+        "Average Precision",
+        "Assigned tasks (DTA+TP)",
+        "Train time (s)",
+        "Test time (s)",
     ]);
     for r in &rows {
         table.push_row(vec![
@@ -21,6 +28,10 @@ fn main() {
             format!("{:.4}", r.test_seconds),
         ]);
     }
-    println!("Fig. 6 — prediction vs ΔT on {} (scale {:.3})\n", Dataset::Didi.name(), scale.factor);
+    println!(
+        "Fig. 6 — prediction vs ΔT on {} (scale {:.3})\n",
+        Dataset::Didi.name(),
+        scale.factor
+    );
     println!("{}", format_table(&table));
 }

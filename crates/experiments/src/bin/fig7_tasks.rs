@@ -1,8 +1,12 @@
 //! Regenerates Fig. 7: task assignment vs number of tasks |S| — number of assigned
 //! tasks and CPU time per time instance for Greedy, FTA, DTA, DTA+TP and
-//! DATA-WA, on both datasets.
+//! DATA-WA, on both datasets. The sweep is driven by the `datawa-stream`
+//! discrete-event engine in replay-compatible mode (`DATAWA_REPLAN` /
+//! `DATAWA_REPLAN_DT` select event- or time-batched re-planning).
 
-use datawa_experiments::{assignment_sweep, format_table, Dataset, ExperimentScale, SweepAxis, Table};
+use datawa_experiments::{
+    assignment_sweep, format_table, Dataset, ExperimentScale, SweepAxis, Table,
+};
 
 fn main() {
     let scale = ExperimentScale::from_env();
@@ -10,16 +14,27 @@ fn main() {
     for dataset in [Dataset::Yueche, Dataset::Didi] {
         let axis = SweepAxis::Tasks(dataset.task_sweep());
         let rows = assignment_sweep(dataset, axis, scale, &config);
-        let mut table = Table::new(vec!["number of tasks |S|", "Method", "Assigned tasks", "CPU time (s)"]);
+        let mut table = Table::new(vec![
+            "number of tasks |S|",
+            "Method",
+            "Assigned tasks",
+            "CPU time (s)",
+            "Events",
+        ]);
         for r in &rows {
             table.push_row(vec![
                 r.value.clone(),
                 r.policy.clone(),
                 r.assigned_tasks.to_string(),
                 format!("{:.4}", r.cpu_seconds),
+                r.events.to_string(),
             ]);
         }
-        println!("Fig. 7 — effect of number of tasks |S| on {} (scale {:.3})\n", dataset.name(), scale.factor);
+        println!(
+            "Fig. 7 — effect of number of tasks |S| on {} (scale {:.3}, datawa-stream engine)\n",
+            dataset.name(),
+            scale.factor
+        );
         println!("{}", format_table(&table));
     }
 }

@@ -13,8 +13,15 @@ fn main() {
             dataset.name().to_string(),
             trace.workers.len().to_string(),
             trace.tasks.len().to_string(),
-            format!("{:.0}h horizon (+{:.0}h history)", spec.horizon / 3600.0, spec.history / 3600.0),
-            format!("synthetic {:.0}x{:.0} km hotspot city", spec.area_km, spec.area_km),
+            format!(
+                "{:.0}h horizon (+{:.0}h history)",
+                spec.horizon / 3600.0,
+                spec.history / 3600.0
+            ),
+            format!(
+                "synthetic {:.0}x{:.0} km hotspot city",
+                spec.area_km, spec.area_km
+            ),
         ]);
     }
     println!("Table II — datasets (synthetic stand-ins matching the published counts)\n");

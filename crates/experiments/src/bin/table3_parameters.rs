@@ -1,12 +1,20 @@
 //! Regenerates Table III: the experiment parameter grid (defaults marked *).
 
+use datawa_experiments::params::{
+    AVAILABLE_TIME_SWEEP, DELTA_T_SWEEP, REACHABLE_DISTANCE_SWEEP, VALID_TIME_SWEEP,
+};
 use datawa_experiments::{format_table, Dataset, Table};
-use datawa_experiments::params::{AVAILABLE_TIME_SWEEP, DELTA_T_SWEEP, REACHABLE_DISTANCE_SWEEP, VALID_TIME_SWEEP};
 
 fn fmt_sweep(values: &[f64], default: f64) -> String {
     values
         .iter()
-        .map(|v| if (*v - default).abs() < 1e-9 { format!("{v}*") } else { format!("{v}") })
+        .map(|v| {
+            if (*v - default).abs() < 1e-9 {
+                format!("{v}*")
+            } else {
+                format!("{v}")
+            }
+        })
         .collect::<Vec<_>>()
         .join(", ")
 }
@@ -14,14 +22,23 @@ fn fmt_sweep(values: &[f64], default: f64) -> String {
 fn fmt_usize_sweep(values: &[usize], default: usize) -> String {
     values
         .iter()
-        .map(|v| if *v == default { format!("{v}*") } else { format!("{v}") })
+        .map(|v| {
+            if *v == default {
+                format!("{v}*")
+            } else {
+                format!("{v}")
+            }
+        })
         .collect::<Vec<_>>()
         .join(", ")
 }
 
 fn main() {
     let mut table = Table::new(vec!["Parameter", "Values (default *)"]);
-    table.push_row(vec!["Time interval ΔT (s)".to_string(), fmt_sweep(&DELTA_T_SWEEP, 5.0)]);
+    table.push_row(vec![
+        "Time interval ΔT (s)".to_string(),
+        fmt_sweep(&DELTA_T_SWEEP, 5.0),
+    ]);
     table.push_row(vec![
         "Number of tasks |S| (Yueche)".to_string(),
         fmt_usize_sweep(&Dataset::Yueche.task_sweep(), 11_000),
@@ -38,9 +55,18 @@ fn main() {
         "Number of workers |W| (DiDi)".to_string(),
         fmt_usize_sweep(&Dataset::Didi.worker_sweep(), 700),
     ]);
-    table.push_row(vec!["Reachable distance d (km)".to_string(), fmt_sweep(&REACHABLE_DISTANCE_SWEEP, 1.0)]);
-    table.push_row(vec!["Available time off-on (h)".to_string(), fmt_sweep(&AVAILABLE_TIME_SWEEP, 1.0)]);
-    table.push_row(vec!["Valid time of tasks e-p (s)".to_string(), fmt_sweep(&VALID_TIME_SWEEP, 40.0)]);
+    table.push_row(vec![
+        "Reachable distance d (km)".to_string(),
+        fmt_sweep(&REACHABLE_DISTANCE_SWEEP, 1.0),
+    ]);
+    table.push_row(vec![
+        "Available time off-on (h)".to_string(),
+        fmt_sweep(&AVAILABLE_TIME_SWEEP, 1.0),
+    ]);
+    table.push_row(vec![
+        "Valid time of tasks e-p (s)".to_string(),
+        fmt_sweep(&VALID_TIME_SWEEP, 40.0),
+    ]);
     println!("Table III — experiment parameters\n");
     println!("{}", format_table(&table));
 }

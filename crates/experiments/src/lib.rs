@@ -17,9 +17,9 @@
 //! friendly while preserving the worker-to-task ratio and therefore the
 //! relative ordering of the methods.
 
+pub mod assignment;
 pub mod params;
 pub mod prediction;
-pub mod assignment;
 pub mod report;
 
 pub use assignment::{assignment_sweep, AssignmentRow, SweepAxis};

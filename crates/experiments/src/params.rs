@@ -95,6 +95,46 @@ impl ExperimentScale {
     }
 }
 
+/// Builds the pipeline configuration used by the experiment binaries, honouring
+/// four optional environment variables so that quick, scaled-down captures
+/// are possible without recompiling:
+///
+/// * `DATAWA_EPOCHS` — predictor training epochs (default 8);
+/// * `DATAWA_REPLAN` — re-plan every N arrival events (default 1, the paper's
+///   setting);
+/// * `DATAWA_REPLAN_DT` — additionally re-plan every Δt simulated seconds via
+///   the discrete-event engine's replan ticks (default off);
+/// * `DATAWA_GRID` — prediction grid cells per side (default 6).
+pub fn pipeline_config_from_env() -> datawa_sim::PipelineConfig {
+    let mut config = datawa_sim::PipelineConfig::default();
+    if let Some(epochs) = std::env::var("DATAWA_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        config.training.epochs = epochs;
+    }
+    if let Some(replan) = std::env::var("DATAWA_REPLAN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        config.replan_every = replan;
+    }
+    if let Some(dt) = std::env::var("DATAWA_REPLAN_DT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|dt| *dt > 0.0)
+    {
+        config.replan_interval = Some(dt);
+    }
+    if let Some(grid) = std::env::var("DATAWA_GRID")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        config.grid_cells_per_side = grid;
+    }
+    config
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,26 +162,4 @@ mod tests {
         assert_eq!(s.apply(11_000), 1_100);
         assert_eq!(ExperimentScale::fixed(0.0001).apply(100), 1);
     }
-}
-
-/// Builds the pipeline configuration used by the experiment binaries, honouring
-/// three optional environment variables so that quick, scaled-down captures
-/// are possible without recompiling:
-///
-/// * `DATAWA_EPOCHS` — predictor training epochs (default 8);
-/// * `DATAWA_REPLAN` — re-plan every N arrival events (default 1, the paper's
-///   setting);
-/// * `DATAWA_GRID` — prediction grid cells per side (default 6).
-pub fn pipeline_config_from_env() -> datawa_sim::PipelineConfig {
-    let mut config = datawa_sim::PipelineConfig::default();
-    if let Some(epochs) = std::env::var("DATAWA_EPOCHS").ok().and_then(|v| v.parse().ok()) {
-        config.training.epochs = epochs;
-    }
-    if let Some(replan) = std::env::var("DATAWA_REPLAN").ok().and_then(|v| v.parse().ok()) {
-        config.replan_every = replan;
-    }
-    if let Some(grid) = std::env::var("DATAWA_GRID").ok().and_then(|v| v.parse().ok()) {
-        config.grid_cells_per_side = grid;
-    }
-    config
 }

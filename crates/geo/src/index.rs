@@ -173,7 +173,11 @@ mod tests {
         assert!(idx.within_radius(&Location::new(1.0, 1.0), 0.5).is_empty());
         assert!(idx.is_empty());
         idx.compact();
-        assert_eq!(idx.items_in_cell(idx.grid().cell_of(&Location::new(1.0, 1.0))).len(), 0);
+        assert_eq!(
+            idx.items_in_cell(idx.grid().cell_of(&Location::new(1.0, 1.0)))
+                .len(),
+            0
+        );
     }
 
     #[test]
@@ -207,7 +211,11 @@ mod tests {
                 .filter(|(p, _)| p.euclidean(&center) <= radius)
                 .map(|(_, i)| *i)
                 .collect();
-            let mut got: Vec<u32> = idx.within_radius(&center, radius).into_iter().copied().collect();
+            let mut got: Vec<u32> = idx
+                .within_radius(&center, radius)
+                .into_iter()
+                .copied()
+                .collect();
             expected.sort_unstable();
             got.sort_unstable();
             assert_eq!(expected, got);

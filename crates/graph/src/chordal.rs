@@ -73,10 +73,7 @@ pub fn mcs_fill_in(g: &UnGraph) -> ChordalDecomposition {
     // neighbours of v at elimination time).
     let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(n);
     for &v in &elimination_order {
-        let later: Vec<usize> = chordal
-            .neighbors(v)
-            .filter(|&u| !eliminated[u])
-            .collect();
+        let later: Vec<usize> = chordal.neighbors(v).filter(|&u| !eliminated[u]).collect();
         // Make the later-neighbourhood a clique (fill-in).
         for (i, &a) in later.iter().enumerate() {
             for &b in &later[i + 1..] {
@@ -108,10 +105,7 @@ pub fn maximal_cliques_chordal(chordal: &UnGraph, elimination_order: &[usize]) -
     let mut eliminated = vec![false; n];
     let mut candidates = Vec::with_capacity(n);
     for &v in elimination_order {
-        let mut clique: Vec<usize> = chordal
-            .neighbors(v)
-            .filter(|&u| !eliminated[u])
-            .collect();
+        let mut clique: Vec<usize> = chordal.neighbors(v).filter(|&u| !eliminated[u]).collect();
         clique.push(v);
         clique.sort_unstable();
         candidates.push(clique);

@@ -62,7 +62,11 @@ impl ClusterTree {
 
     /// All graph nodes covered by the tree, sorted.
     pub fn covered_nodes(&self) -> Vec<usize> {
-        let mut all: Vec<usize> = self.nodes.iter().flat_map(|n| n.members.iter().copied()).collect();
+        let mut all: Vec<usize> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.members.iter().copied())
+            .collect();
         all.sort_unstable();
         all
     }
@@ -90,7 +94,11 @@ impl ClusterTree {
                 .max()
                 .unwrap_or(0)
         }
-        self.roots.iter().map(|&r| depth_of(self, r)).max().unwrap_or(0)
+        self.roots
+            .iter()
+            .map(|&r| depth_of(self, r))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Verifies the sibling-independence property against the original graph:
@@ -158,16 +166,20 @@ fn build_recursive(
     let mut best_score: Option<(std::cmp::Reverse<usize>, usize)> = None;
     for clique in &decomposition.cliques {
         let clique_set: BTreeSet<usize> = clique.iter().copied().collect();
-        let rest: BTreeSet<usize> = (0..sub.node_count()).filter(|v| !clique_set.contains(v)).collect();
+        let rest: BTreeSet<usize> = (0..sub.node_count())
+            .filter(|v| !clique_set.contains(v))
+            .collect();
         let comps = sub.components_within(&rest);
         let score = (std::cmp::Reverse(comps.len()), clique.len());
-        if best_score.map_or(true, |bs| score < bs) {
+        if best_score.is_none_or(|bs| score < bs) {
             best_score = Some(score);
             best_clique = Some(clique);
             best_components = comps.len();
         }
     }
-    let separator = best_clique.expect("non-empty graph yields at least one clique").clone();
+    let separator = best_clique
+        .expect("non-empty graph yields at least one clique")
+        .clone();
     let _ = best_components;
     // Map separator back to original node ids.
     let members: Vec<usize> = separator.iter().map(|&v| mapping[v]).collect();
@@ -228,7 +240,10 @@ mod tests {
         assert_eq!(t.roots.len(), 1);
         // The root separator of a path should produce two independent halves.
         let root = &t.nodes[t.roots[0]];
-        assert!(root.children.len() >= 2, "root of a path should have ≥2 children");
+        assert!(
+            root.children.len() >= 2,
+            "root of a path should have ≥2 children"
+        );
         assert!(t.verify_sibling_independence(&g));
     }
 

@@ -34,7 +34,10 @@ impl UnGraph {
 
     /// Adds the undirected edge `{u, v}` (self-loops are ignored).
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         if u == v {
             return;
         }
@@ -53,7 +56,7 @@ impl UnGraph {
     /// Whether the edge `{u, v}` exists.
     #[inline]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.adj.get(u).map_or(false, |s| s.contains(&v))
+        self.adj.get(u).is_some_and(|s| s.contains(&v))
     }
 
     /// The neighbours of `u` in ascending order.

@@ -74,7 +74,13 @@ impl DdgnnPredictor {
     pub fn new(cells: usize, k: usize, config: DdgnnConfig, seed: u64) -> DdgnnPredictor {
         let mut rng = StdRng::seed_from_u64(seed);
         DdgnnPredictor {
-            temporal: GatedTemporalConv::new(k, config.hidden, config.kernel, config.dilation, &mut rng),
+            temporal: GatedTemporalConv::new(
+                k,
+                config.hidden,
+                config.kernel,
+                config.dilation,
+                &mut rng,
+            ),
             dependency: DependencyLearner::new(k, config.embedding, &mut rng),
             head: Dense::new(config.hidden, k, &mut rng),
             config,
@@ -233,8 +239,10 @@ mod tests {
     #[test]
     fn dynamic_adjacency_is_row_stochastic_and_snapshot_dependent() {
         let model = DdgnnPredictor::with_defaults(3, 2, 1);
-        let a = model.dynamic_adjacency(&Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0], &[0.0, 1.0]]));
-        let b = model.dynamic_adjacency(&Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[0.0, 0.0]]));
+        let a =
+            model.dynamic_adjacency(&Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0], &[0.0, 1.0]]));
+        let b =
+            model.dynamic_adjacency(&Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[0.0, 0.0]]));
         for r in 0..3 {
             assert!((a.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
@@ -246,9 +254,18 @@ mod tests {
         let ds = dependency_dataset(3, 2, 16);
         let (train, test) = ds.split(0.75);
         let mut model = DdgnnPredictor::with_defaults(3, 2, 3);
-        model.train(&train, &TrainingConfig { epochs: 120, learning_rate: 0.03 });
+        model.train(
+            &train,
+            &TrainingConfig {
+                epochs: 120,
+                learning_rate: 0.03,
+            },
+        );
         let ap = model.evaluate(&test).average_precision;
-        assert!(ap > 0.7, "DDGNN failed to learn the cross-region dependency: AP={ap}");
+        assert!(
+            ap > 0.7,
+            "DDGNN failed to learn the cross-region dependency: AP={ap}"
+        );
     }
 
     #[test]

@@ -118,11 +118,17 @@ mod tests {
             p.zero_grad();
         }
         let loss = dep
-            .adjacency(&Var::constant(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]])))
+            .adjacency(&Var::constant(Matrix::from_rows(&[
+                &[1.0, 0.0],
+                &[0.0, 1.0],
+            ])))
             .hadamard(&Var::constant(weights))
             .sum();
         loss.backward();
         let total_grad: f64 = dep.parameters().iter().map(|p| p.grad().max_abs()).sum();
-        assert!(total_grad > 0.0, "no gradient reached the dependency learner");
+        assert!(
+            total_grad > 0.0,
+            "no gradient reached the dependency learner"
+        );
     }
 }

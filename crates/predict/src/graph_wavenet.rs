@@ -30,7 +30,13 @@ pub struct GraphWaveNetPredictor {
 impl GraphWaveNetPredictor {
     /// Creates the model for `cells` grid cells and occurrence vectors of
     /// width `k`.
-    pub fn new(cells: usize, k: usize, hidden: usize, embedding: usize, seed: u64) -> GraphWaveNetPredictor {
+    pub fn new(
+        cells: usize,
+        k: usize,
+        hidden: usize,
+        embedding: usize,
+        seed: u64,
+    ) -> GraphWaveNetPredictor {
         let mut rng = StdRng::seed_from_u64(seed);
         GraphWaveNetPredictor {
             temporal: GatedTemporalConv::new(k, hidden, 3, 1, &mut rng),
@@ -87,7 +93,7 @@ impl DemandPredictor for GraphWaveNetPredictor {
         );
         let z = self.temporal_features(example); // (M, hidden)
         let adj = self.adaptive_adjacency(); // (M, M)
-        // One diffusion step with a residual connection: Z' = ReLU(Z + Â·Z·W).
+                                             // One diffusion step with a residual connection: Z' = ReLU(Z + Â·Z·W).
         let propagated = self.diffusion.forward(&adj.matmul(&z));
         let mixed = z.add(&propagated).relu();
         self.head.forward(&mixed).sigmoid()
@@ -177,8 +183,17 @@ mod tests {
         let ds = correlated_dataset(3, 2, 10);
         let (train, test) = ds.split(0.6);
         let mut model = GraphWaveNetPredictor::new(3, 2, 8, 4, 2);
-        model.train(&train, &TrainingConfig { epochs: 120, learning_rate: 0.03 });
+        model.train(
+            &train,
+            &TrainingConfig {
+                epochs: 120,
+                learning_rate: 0.03,
+            },
+        );
         let ap = model.evaluate(&test).average_precision;
-        assert!(ap > 0.7, "Graph-WaveNet failed to learn the lead-cell pattern: AP={ap}");
+        assert!(
+            ap > 0.7,
+            "Graph-WaveNet failed to learn the lead-cell pattern: AP={ap}"
+        );
     }
 }

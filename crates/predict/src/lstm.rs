@@ -68,7 +68,7 @@ mod tests {
         let spec = SeriesSpec::new(Timestamp(0.0), 1.0, k, 3);
         let mut out = Vec::new();
         for e in 0..examples {
-            let bit = |t: usize| if t % 2 == 0 { 1.0 } else { 0.0 };
+            let bit = |t: usize| if t.is_multiple_of(2) { 1.0 } else { 0.0 };
             let mut history = Vec::new();
             for _ in 0..cells {
                 let mut h = Matrix::zeros(3, k);
@@ -116,12 +116,21 @@ mod tests {
         let (train, test) = ds.split(0.75);
         let mut model = LstmPredictor::new(2, 8, 1);
         let before = model.evaluate(&test).average_precision;
-        model.train(&train, &TrainingConfig { epochs: 40, learning_rate: 0.02 });
+        model.train(
+            &train,
+            &TrainingConfig {
+                epochs: 40,
+                learning_rate: 0.02,
+            },
+        );
         let after = model.evaluate(&test).average_precision;
         assert!(
             after >= before,
             "training should not hurt AP on a deterministic pattern: before={before}, after={after}"
         );
-        assert!(after > 0.6, "LSTM failed to learn the alternating pattern: AP={after}");
+        assert!(
+            after > 0.6,
+            "LSTM failed to learn the alternating pattern: AP={after}"
+        );
     }
 }

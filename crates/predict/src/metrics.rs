@@ -32,7 +32,11 @@ pub fn precision_recall_at(scores: &[f64], labels: &[f64], threshold: f64) -> (f
         }
     }
     let precision = if tp + fp == 0.0 { 1.0 } else { tp / (tp + fp) };
-    let recall = if tp + fne == 0.0 { 1.0 } else { tp / (tp + fne) };
+    let recall = if tp + fne == 0.0 {
+        1.0
+    } else {
+        tp / (tp + fne)
+    };
     (precision, recall)
 }
 
@@ -89,17 +93,25 @@ mod tests {
         let labels = [1.0, 0.0, 1.0, 0.0];
         let scores = [0.1, 0.9, 0.2, 0.8];
         let ap = average_precision(&scores, &labels);
-        assert!(ap < 0.6, "anti-correlated scores should score poorly, got {ap}");
+        assert!(
+            ap < 0.6,
+            "anti-correlated scores should score poorly, got {ap}"
+        );
     }
 
     #[test]
     fn random_predictions_score_near_the_positive_rate() {
         // With constant scores the precision at every attainable threshold is
         // the base rate.
-        let labels: Vec<f64> = (0..100).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f64> = (0..100)
+            .map(|i| if i % 4 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let scores = vec![0.5; 100];
         let ap = average_precision(&scores, &labels);
-        assert!((ap - 0.25).abs() < 0.02, "constant scores should give AP = base rate, got {ap}");
+        assert!(
+            (ap - 0.25).abs() < 0.02,
+            "constant scores should give AP = base rate, got {ap}"
+        );
     }
 
     #[test]
@@ -132,7 +144,13 @@ mod tests {
     fn better_predictor_has_higher_ap() {
         let labels: Vec<f64> = (0..50).map(|i| if i < 15 { 1.0 } else { 0.0 }).collect();
         let good: Vec<f64> = (0..50)
-            .map(|i| if i < 15 { 0.8 + (i as f64) * 0.01 } else { 0.3 - (i as f64) * 0.001 })
+            .map(|i| {
+                if i < 15 {
+                    0.8 + (i as f64) * 0.01
+                } else {
+                    0.3 - (i as f64) * 0.001
+                }
+            })
             .collect();
         let noisy: Vec<f64> = (0..50)
             .map(|i| if (i * 7) % 3 == 0 { 0.7 } else { 0.4 })

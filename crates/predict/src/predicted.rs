@@ -89,12 +89,7 @@ mod tests {
     #[test]
     fn only_confident_predictions_become_tasks() {
         let spec = SeriesSpec::new(Timestamp(0.0), 5.0, 2, 1);
-        let probs = Matrix::from_rows(&[
-            &[0.9, 0.1],
-            &[0.2, 0.86],
-            &[0.84, 0.3],
-            &[0.99, 0.97],
-        ]);
+        let probs = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.86], &[0.84, 0.3], &[0.99, 0.97]]);
         let tasks = predicted_tasks_from(
             &probs,
             &grid(),
@@ -104,7 +99,7 @@ mod tests {
             DEFAULT_THRESHOLD,
         );
         assert_eq!(tasks.len(), 4); // (0,0), (1,1), (3,0), (3,1)
-        // Bucket index sets publication offset.
+                                    // Bucket index sets publication offset.
         let t = tasks.iter().find(|t| t.cell == CellId(1)).unwrap();
         assert_eq!(t.publication, Timestamp(105.0));
         assert_eq!(t.expiration, Timestamp(145.0));
@@ -116,14 +111,8 @@ mod tests {
         let spec = SeriesSpec::new(Timestamp(0.0), 5.0, 2, 1);
         let mut probs = Matrix::zeros(4, 2);
         probs.set(3, 0, 0.95);
-        let tasks = predicted_tasks_from(
-            &probs,
-            &grid(),
-            &spec,
-            Timestamp(0.0),
-            Duration(10.0),
-            0.85,
-        );
+        let tasks =
+            predicted_tasks_from(&probs, &grid(), &spec, Timestamp(0.0), Duration(10.0), 0.85);
         assert_eq!(tasks.len(), 1);
         assert_eq!(tasks[0].location, grid().cell_center(CellId(3)));
     }

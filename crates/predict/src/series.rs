@@ -115,16 +115,21 @@ impl SeriesDataset {
                 let mut history = Vec::with_capacity(cells);
                 let mut snapshot = Matrix::zeros(cells, spec.k);
                 let mut target = Matrix::zeros(cells, spec.k);
-                for cell in 0..cells {
+                for (cell, cell_occurrence) in occurrence.iter().enumerate().take(cells) {
                     let mut h = Matrix::zeros(spec.history_len, spec.k);
                     for (row, window) in (start..target_window).enumerate() {
-                        for j in 0..spec.k {
-                            h.set(row, j, occurrence[cell][window][j]);
+                        for (j, &v) in cell_occurrence[window].iter().enumerate() {
+                            h.set(row, j, v);
                         }
                     }
-                    for j in 0..spec.k {
-                        snapshot.set(cell, j, occurrence[cell][target_window - 1][j]);
-                        target.set(cell, j, occurrence[cell][target_window][j]);
+                    for (j, (&snap, &tgt)) in cell_occurrence[target_window - 1]
+                        .iter()
+                        .zip(&cell_occurrence[target_window])
+                        .enumerate()
+                        .take(spec.k)
+                    {
+                        snapshot.set(cell, j, snap);
+                        target.set(cell, j, tgt);
                     }
                     history.push(h);
                 }

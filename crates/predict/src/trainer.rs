@@ -171,7 +171,12 @@ mod tests {
         let ds_pos = SeriesDataset {
             spec: ds.spec,
             cells: ds.cells,
-            examples: ds.examples.iter().filter(|e| e.target.sum() > 0.0).cloned().collect(),
+            examples: ds
+                .examples
+                .iter()
+                .filter(|e| e.target.sum() > 0.0)
+                .cloned()
+                .collect(),
         };
         let mut model = ConstantPredictor {
             bias: Var::parameter(Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]])),
@@ -183,8 +188,17 @@ mod tests {
             .bce_loss(&ds_pos.examples[0].target)
             .value()
             .get(0, 0);
-        let report = model.train(&ds_pos, &TrainingConfig { epochs: 50, learning_rate: 0.1 });
-        assert!(report.final_loss < before, "training did not reduce the loss");
+        let report = model.train(
+            &ds_pos,
+            &TrainingConfig {
+                epochs: 50,
+                learning_rate: 0.1,
+            },
+        );
+        assert!(
+            report.final_loss < before,
+            "training did not reduce the loss"
+        );
         assert!(report.train_seconds >= 0.0);
         assert_eq!(report.epochs, 50);
     }

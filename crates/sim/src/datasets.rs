@@ -8,8 +8,11 @@
 //! demand is) with availability windows and reachable distances drawn from
 //! the Table III parameter grid.
 
-use datawa_core::{BoundingBox, Duration, Location, Task, TaskId, TaskStore, Timestamp, Worker, WorkerId, WorkerStore};
 use datawa_assign::ArrivalEvent;
+use datawa_core::{
+    BoundingBox, Duration, Location, Task, TaskId, TaskStore, Timestamp, Worker, WorkerId,
+    WorkerStore,
+};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -172,8 +175,8 @@ impl SyntheticTrace {
         let sample_location = |rng: &mut StdRng, hotspot: usize| -> Location {
             let c = hotspots[hotspot];
             let p = Location::new(
-                c.x + rng.sample::<f64, _>(rand_distr_normal()) * spec.hotspot_sigma,
-                c.y + rng.sample::<f64, _>(rand_distr_normal()) * spec.hotspot_sigma,
+                c.x + rng.sample::<f64, _>(StandardNormal) * spec.hotspot_sigma,
+                c.y + rng.sample::<f64, _>(StandardNormal) * spec.hotspot_sigma,
             );
             area.clamp(&p)
         };
@@ -198,13 +201,18 @@ impl SyntheticTrace {
             hotspots.len() - 1
         };
 
-        // Tasks over [-history, horizon).
-        let total_span = spec.history + spec.horizon;
-        let total_tasks = ((spec.tasks as f64) * total_span / spec.horizon).round() as usize;
+        // Tasks over [-history, horizon). The two segments are sampled
+        // separately so the evaluation horizon always holds exactly
+        // `spec.tasks` tasks (the historical density matches the horizon's).
         let mut tasks = TaskStore::new();
         let mut history_tasks = TaskStore::new();
-        for _ in 0..total_tasks {
-            let t = rng.gen_range(-spec.history..spec.horizon);
+        let history_count = ((spec.tasks as f64) * spec.history / spec.horizon).round() as usize;
+        for i in 0..history_count + spec.tasks {
+            let t = if i < history_count {
+                rng.gen_range(-spec.history..0.0)
+            } else {
+                rng.gen_range(0.0..spec.horizon)
+            };
             let hotspot = pick_hotspot(&mut rng, t);
             let location = sample_location(&mut rng, hotspot);
             let publication = Timestamp(t);
@@ -212,7 +220,7 @@ impl SyntheticTrace {
             let task = Task::new(TaskId(0), location, publication, expiration);
             if t < 0.0 {
                 history_tasks.insert(task);
-            } else if tasks.len() < spec.tasks {
+            } else {
                 tasks.insert(task);
             }
         }
@@ -257,6 +265,19 @@ impl SyntheticTrace {
         events
     }
 
+    /// The replay adapter: the trace's evaluation-horizon workers and tasks
+    /// as a `datawa-stream` workload, so the discrete-event engine can drive
+    /// the exact stream the legacy synchronous loop consumed. Workers precede
+    /// tasks and both keep their dense-id order, matching the stable sort in
+    /// [`SyntheticTrace::events`], so an engine run under
+    /// `EngineConfig::replay_compat` reproduces the legacy assignment totals.
+    pub fn workload(&self) -> datawa_stream::Workload {
+        datawa_stream::Workload {
+            workers: self.workers.iter().copied().collect(),
+            tasks: self.tasks.iter().copied().collect(),
+        }
+    }
+
     /// All tasks (history + evaluation horizon) in one store, for building the
     /// full task multivariate time series.
     pub fn all_tasks(&self) -> TaskStore {
@@ -268,22 +289,6 @@ impl SyntheticTrace {
             all.insert(*t);
         }
         all
-    }
-}
-
-/// A standard-normal distribution helper (kept local to avoid an extra
-/// dependency on `rand_distr`): Box–Muller from two uniform samples.
-fn rand_distr_normal() -> NormalBoxMuller {
-    NormalBoxMuller
-}
-
-struct NormalBoxMuller;
-
-impl rand::distributions::Distribution<f64> for NormalBoxMuller {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 }
 
@@ -322,7 +327,10 @@ mod tests {
 
     #[test]
     fn generated_entities_respect_the_spec() {
-        let spec = TraceSpec::didi().scaled(0.05).with_valid_time(30.0).with_reachable_distance(0.5);
+        let spec = TraceSpec::didi()
+            .scaled(0.05)
+            .with_valid_time(30.0)
+            .with_reachable_distance(0.5);
         let trace = SyntheticTrace::generate(spec);
         assert_eq!(trace.tasks.len(), spec.tasks);
         assert_eq!(trace.workers.len(), spec.workers);

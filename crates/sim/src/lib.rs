@@ -20,6 +20,6 @@ pub mod pipeline;
 
 pub use datasets::{SyntheticTrace, TraceSpec};
 pub use pipeline::{
-    build_series, prediction_grid, run_policy, run_prediction, train_tvf_on_prefix,
-    PipelineConfig, PolicyRunSummary, PredictionRunSummary,
+    build_series, prediction_grid, run_policy, run_policy_legacy, run_prediction,
+    train_tvf_on_prefix, PipelineConfig, PolicyRunSummary, PredictionRunSummary,
 };

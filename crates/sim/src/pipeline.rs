@@ -10,7 +10,7 @@
 
 use crate::datasets::SyntheticTrace;
 use datawa_assign::{
-    AdaptiveRunner, AssignConfig, PolicyKind, Planner, PredictedTaskInput, SearchMode,
+    AdaptiveRunner, AssignConfig, Planner, PolicyKind, PredictedTaskInput, SearchMode,
     TaskValueFunction,
 };
 use datawa_core::{Duration, TaskId, Timestamp, WorkerId};
@@ -18,6 +18,7 @@ use datawa_geo::{GridSpec, UniformGrid};
 use datawa_predict::{
     predicted_tasks_from, DemandPredictor, SeriesDataset, SeriesSpec, TrainingConfig,
 };
+use datawa_stream::EngineConfig;
 use serde::Serialize;
 
 /// Configuration of the full pipeline.
@@ -40,6 +41,10 @@ pub struct PipelineConfig {
     pub assign: AssignConfig,
     /// Re-plan every N arrival events (1 = the paper's setting).
     pub replan_every: usize,
+    /// Additionally re-plan every Δt simulated seconds through the
+    /// discrete-event engine's replan ticks (`None` = arrival-driven only,
+    /// which keeps engine runs bit-identical to the legacy driver).
+    pub replan_interval: Option<f64>,
     /// Number of planning instants sampled for TVF training data collection.
     pub tvf_training_instants: usize,
     /// TVF training epochs.
@@ -60,6 +65,7 @@ impl Default for PipelineConfig {
             },
             assign: AssignConfig::default(),
             replan_every: 1,
+            replan_interval: None,
             tvf_training_instants: 6,
             tvf_epochs: 60,
         }
@@ -196,7 +202,35 @@ pub fn train_tvf_on_prefix(trace: &SyntheticTrace, config: &PipelineConfig) -> T
     tvf
 }
 
-/// Runs one assignment policy over the trace's arrival stream.
+fn build_runner(
+    trace: &SyntheticTrace,
+    policy: PolicyKind,
+    tvf: Option<TaskValueFunction>,
+    config: &PipelineConfig,
+) -> AdaptiveRunner {
+    let mut runner = AdaptiveRunner::new(config.assign, policy);
+    runner.replan_every = config.replan_every;
+    if policy == PolicyKind::DataWa {
+        let tvf = tvf.unwrap_or_else(|| train_tvf_on_prefix(trace, config));
+        runner = runner.with_tvf(tvf);
+    }
+    runner
+}
+
+fn summarize(policy: PolicyKind, outcome: &datawa_assign::RunOutcome) -> PolicyRunSummary {
+    PolicyRunSummary {
+        policy: policy.name().to_string(),
+        assigned_tasks: outcome.assigned_tasks,
+        mean_cpu_seconds: outcome.mean_planning_seconds,
+        total_cpu_seconds: outcome.total_planning_seconds,
+        events: outcome.events,
+    }
+}
+
+/// Runs one assignment policy over the trace's arrival stream on the
+/// `datawa-stream` discrete-event engine (replay-compatible configuration, so
+/// the reported numbers match the legacy synchronous driver at the same
+/// `replan_every`).
 ///
 /// `predicted` is only consulted by the prediction-aware policies; `tvf` is
 /// required by DATA-WA (trained on the fly via [`train_tvf_on_prefix`] when
@@ -208,20 +242,28 @@ pub fn run_policy(
     tvf: Option<TaskValueFunction>,
     config: &PipelineConfig,
 ) -> PolicyRunSummary {
-    let mut runner = AdaptiveRunner::new(config.assign, policy);
-    runner.replan_every = config.replan_every;
-    if policy == PolicyKind::DataWa {
-        let tvf = tvf.unwrap_or_else(|| train_tvf_on_prefix(trace, config));
-        runner = runner.with_tvf(tvf);
-    }
+    let runner = build_runner(trace, policy, tvf, config);
+    let engine_config = EngineConfig {
+        replan_interval: config.replan_interval,
+        ..EngineConfig::replay_compat(config.replan_every)
+    };
+    let outcome = datawa_stream::run_workload(&runner, &trace.workload(), predicted, engine_config);
+    summarize(policy, &outcome.run)
+}
+
+/// Runs one assignment policy through the legacy synchronous
+/// loop-over-sorted-arrivals driver. Kept (and exercised by tests) as the
+/// reference implementation the engine's replay mode must agree with.
+pub fn run_policy_legacy(
+    trace: &SyntheticTrace,
+    policy: PolicyKind,
+    predicted: &[PredictedTaskInput],
+    tvf: Option<TaskValueFunction>,
+    config: &PipelineConfig,
+) -> PolicyRunSummary {
+    let runner = build_runner(trace, policy, tvf, config);
     let outcome = runner.run(&trace.events(), predicted);
-    PolicyRunSummary {
-        policy: policy.name().to_string(),
-        assigned_tasks: outcome.assigned_tasks,
-        mean_cpu_seconds: outcome.mean_planning_seconds,
-        total_cpu_seconds: outcome.total_planning_seconds,
-        events: outcome.events,
-    }
+    summarize(policy, &outcome)
 }
 
 #[cfg(test)]
@@ -286,8 +328,37 @@ mod tests {
         assert_eq!(greedy.events, trace.tasks.len() + trace.workers.len());
         assert!(greedy.assigned_tasks <= trace.tasks.len());
         assert!(dta.assigned_tasks <= trace.tasks.len());
-        assert!(dta.assigned_tasks >= 1, "DTA should serve something on this trace");
+        assert!(
+            dta.assigned_tasks >= 1,
+            "DTA should serve something on this trace"
+        );
         assert_eq!(dta.policy, "DTA");
+    }
+
+    #[test]
+    fn engine_replay_matches_the_legacy_driver_exactly() {
+        // The acceptance bar for the discrete-event engine: replaying the
+        // trace through the engine in replay-compat mode must reproduce the
+        // legacy loop's assignment totals for every non-predictive policy,
+        // at per-arrival re-planning and at a coarser batching alike.
+        let trace = tiny_trace();
+        for replan_every in [1usize, 4] {
+            let config = PipelineConfig {
+                replan_every,
+                ..tiny_config()
+            };
+            for policy in [PolicyKind::Greedy, PolicyKind::Fta, PolicyKind::Dta] {
+                let engine = run_policy(&trace, policy, &[], None, &config);
+                let legacy = run_policy_legacy(&trace, policy, &[], None, &config);
+                assert_eq!(
+                    engine.assigned_tasks,
+                    legacy.assigned_tasks,
+                    "{} diverged at replan_every={replan_every}",
+                    policy.name()
+                );
+                assert_eq!(engine.events, legacy.events);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! The discrete-event engine: event loop, batched re-planning, incremental
+//! world-view maintenance.
+
+use crate::event::{Event, EventQueue};
+use crate::scenario::Workload;
+use datawa_assign::{AdaptiveRunner, PredictedTaskInput, RunOutcome};
+use datawa_core::{Duration, Timestamp};
+
+/// Engine knobs: when to re-plan and what happens when a worker leaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Trigger a re-plan on every `n`-th arrival event (`1` = the paper's
+    /// per-arrival setting, `0` = arrivals never trigger planning — combine
+    /// with [`EngineConfig::replan_interval`] for purely time-driven
+    /// batching). Dispatching still happens at every arrival either way.
+    pub replan_every_events: usize,
+    /// Also re-plan every `Δt` simulated seconds via [`Event::ReplanTick`]s.
+    pub replan_interval: Option<f64>,
+    /// Whether a worker going offline releases the undone tasks of its
+    /// planned sequence back to the pool (under FTA they become claimable by
+    /// later fixed plans). The legacy synchronous driver never releases, so
+    /// [`EngineConfig::replay_compat`] turns this off.
+    pub release_on_offline: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            replan_every_events: 1,
+            replan_interval: None,
+            release_on_offline: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Bit-for-bit compatibility with the legacy `AdaptiveRunner::run` loop:
+    /// re-plan every `replan_every` arrivals, no time-driven ticks, no
+    /// release-on-offline. Running a replayed trace under this config
+    /// produces the same assignment totals as the legacy driver.
+    pub fn replay_compat(replan_every: usize) -> EngineConfig {
+        EngineConfig {
+            replan_every_events: replan_every.max(1),
+            replan_interval: None,
+            release_on_offline: false,
+        }
+    }
+
+    /// Batched planning: re-plan every `n` arrivals instead of every arrival.
+    pub fn batched(n: usize) -> EngineConfig {
+        EngineConfig {
+            replan_every_events: n.max(1),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Purely time-driven planning: re-plan every `delta_t` seconds only.
+    pub fn ticked(delta_t: f64) -> EngineConfig {
+        assert!(delta_t > 0.0, "replan interval must be positive");
+        EngineConfig {
+            replan_every_events: 0,
+            replan_interval: Some(delta_t),
+            release_on_offline: true,
+        }
+    }
+}
+
+/// Counters describing one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total events popped from the queue (arrivals + lifecycle + ticks).
+    pub events_processed: usize,
+    /// Worker-online + task-arrival events.
+    pub arrivals: usize,
+    /// Task-expiration events fired.
+    pub expirations: usize,
+    /// Expiration events that actually removed a still-open task from the
+    /// view (the rest were already served or lazily pruned).
+    pub expired_open: usize,
+    /// Worker-offline events fired.
+    pub offline: usize,
+    /// Re-plan ticks fired.
+    pub replan_ticks: usize,
+    /// High-water mark of the pending-event queue.
+    pub peak_queue_len: usize,
+}
+
+/// Result of one engine run: the assignment outcome plus engine counters.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// The policy outcome, identical in shape to the legacy driver's.
+    pub run: RunOutcome,
+    /// Engine-side counters.
+    pub stats: EngineStats,
+}
+
+/// The discrete-event simulation engine.
+///
+/// The engine owns a deterministic [`EventQueue`] and drives an
+/// [`AdaptiveRunner`]'s stepwise [`datawa_assign::RunnerState`]:
+///
+/// * arrivals insert the entity, auto-schedule its lifetime-closing event
+///   ([`Event::TaskExpiration`] / [`Event::WorkerOffline`]) and step the
+///   runner (dispatch always, planning per the batching config);
+/// * lifecycle events maintain the incremental open-task/available-worker
+///   views in `O(log n)` — no full store rescans;
+/// * [`Event::ReplanTick`]s force a batched re-plan every `Δt` simulated
+///   seconds and re-arm themselves while any work remains.
+pub struct StreamEngine {
+    config: EngineConfig,
+    queue: EventQueue,
+    stats: EngineStats,
+}
+
+impl StreamEngine {
+    /// Creates an engine with the given configuration.
+    ///
+    /// Panics on a non-positive or non-finite `replan_interval`: a tick that
+    /// does not advance simulated time would re-arm itself at the head of the
+    /// queue forever and the run would never terminate.
+    pub fn new(config: EngineConfig) -> StreamEngine {
+        if let Some(dt) = config.replan_interval {
+            assert!(
+                dt.is_finite() && dt > 0.0,
+                "replan_interval must be a positive finite number of seconds, got {dt}"
+            );
+        }
+        StreamEngine {
+            config,
+            queue: EventQueue::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Schedules one event explicitly. Arrival events may be scheduled at any
+    /// time; note that expiration/offline events for arrivals are scheduled
+    /// automatically by the run loop, using the dense ids the stores assign
+    /// in insertion order.
+    pub fn schedule(&mut self, time: Timestamp, event: Event) {
+        self.queue.push(time, event);
+    }
+
+    /// Schedules a whole workload: every worker at its online time, every
+    /// task at its publication time.
+    pub fn load(&mut self, workload: &Workload) {
+        for w in &workload.workers {
+            self.queue.push(w.on(), Event::WorkerOnline(*w));
+        }
+        for t in &workload.tasks {
+            self.queue.push(t.publication, Event::TaskArrival(*t));
+        }
+    }
+
+    /// Number of currently pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains the queue, driving `runner` over every event, and returns the
+    /// combined outcome. The engine can be re-loaded and re-run afterwards
+    /// (stats reset per run).
+    pub fn run(
+        &mut self,
+        runner: &AdaptiveRunner,
+        predicted: &[PredictedTaskInput],
+    ) -> EngineOutcome {
+        self.stats = EngineStats::default();
+        self.queue.reset_peak();
+        let mut state = runner.start(predicted);
+        let mut arrivals_seen: usize = 0;
+
+        // Arm the first time-driven replan tick one interval after the
+        // earliest scheduled event.
+        if let (Some(dt), Some(first)) = (self.config.replan_interval, self.queue.peek_time()) {
+            self.queue.push(first + Duration(dt), Event::ReplanTick);
+        }
+
+        while let Some(scheduled) = self.queue.pop() {
+            let now = scheduled.time;
+            self.stats.events_processed += 1;
+            match scheduled.event {
+                Event::WorkerOnline(w) => {
+                    self.stats.arrivals += 1;
+                    state.record_event();
+                    let off = w.off();
+                    let wid = state.insert_worker(w);
+                    // An always-available worker (infinite window) is legal
+                    // in the core model; its death event simply never fires.
+                    if off.is_finite() {
+                        self.queue.push(off, Event::WorkerOffline(wid));
+                    }
+                    let replan = self.arrival_triggers_replan(arrivals_seen);
+                    arrivals_seen += 1;
+                    state.step(now, replan);
+                }
+                Event::TaskArrival(t) => {
+                    self.stats.arrivals += 1;
+                    state.record_event();
+                    let expiration = t.expiration;
+                    let tid = state.insert_task(t);
+                    // Never-expiring tasks stay in the open view until served
+                    // (or lazily pruned); no expiration event to schedule.
+                    if expiration.is_finite() {
+                        self.queue.push(expiration, Event::TaskExpiration(tid));
+                    }
+                    let replan = self.arrival_triggers_replan(arrivals_seen);
+                    arrivals_seen += 1;
+                    state.step(now, replan);
+                }
+                Event::TaskExpiration(tid) => {
+                    self.stats.expirations += 1;
+                    if state.expire_task(tid) {
+                        self.stats.expired_open += 1;
+                    }
+                }
+                Event::WorkerOffline(wid) => {
+                    self.stats.offline += 1;
+                    state.retire_worker(wid, self.config.release_on_offline);
+                }
+                Event::ReplanTick => {
+                    self.stats.replan_ticks += 1;
+                    state.step(now, true);
+                    // Re-arm while any event is still pending; the tick chain
+                    // dies with the queue, so the run always terminates.
+                    if let Some(dt) = self.config.replan_interval {
+                        if !self.queue.is_empty() {
+                            self.queue.push(now + Duration(dt), Event::ReplanTick);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.stats.peak_queue_len = self.queue.peak_len();
+        EngineOutcome {
+            run: state.finish(),
+            stats: self.stats,
+        }
+    }
+
+    #[inline]
+    fn arrival_triggers_replan(&self, arrivals_seen: usize) -> bool {
+        let n = self.config.replan_every_events;
+        n > 0 && arrivals_seen.is_multiple_of(n)
+    }
+}
+
+/// One-shot convenience: build an engine, load `workload`, run `runner`.
+pub fn run_workload(
+    runner: &AdaptiveRunner,
+    workload: &Workload,
+    predicted: &[PredictedTaskInput],
+    config: EngineConfig,
+) -> EngineOutcome {
+    let mut engine = StreamEngine::new(config);
+    engine.load(workload);
+    engine.run(runner, predicted)
+}

@@ -1,0 +1,301 @@
+//! # datawa-stream
+//!
+//! An event-driven streaming engine for DATA-WA: the discrete-event substrate
+//! that replaces the synchronous for-loop-over-sorted-arrivals driver with a
+//! deterministic event queue, explicit lifecycle events and batched
+//! re-planning.
+//!
+//! ## Event lifecycle
+//!
+//! Every entity flows through the engine as a pair of events:
+//!
+//! 1. **Birth.** A [`Event::WorkerOnline`] or [`Event::TaskArrival`] pops at
+//!    the entity's online/publication time. The engine inserts the record
+//!    into the run's [`datawa_core::WorkerStore`]/[`datawa_core::TaskStore`]
+//!    (which assigns its dense id), adds the id to the matching incremental
+//!    view ([`datawa_core::AvailableWorkerView`] /
+//!    [`datawa_core::OpenTaskView`], an `O(log n)` insertion), and
+//!    immediately schedules the entity's **death** event for its window-close
+//!    instant.
+//! 2. **Life.** While alive, the entity participates in planning and
+//!    dispatch: every arrival steps the
+//!    [`datawa_assign::RunnerState`] state machine (dispatch always;
+//!    re-planning when the batching policy triggers — every N arrivals, every
+//!    Δt seconds via [`Event::ReplanTick`], or both). Serving a task removes
+//!    it from the open view at dispatch time.
+//! 3. **Death.** [`Event::TaskExpiration`] / [`Event::WorkerOffline`] pops at
+//!    the boundary of the half-open lifetime interval and removes the id from
+//!    its view in `O(log n)` — no full-store rescans ever happen. A worker
+//!    going offline can optionally release the undone remainder of its
+//!    planned sequence back to the pool
+//!    ([`EngineConfig::release_on_offline`]).
+//!
+//! Determinism: the queue orders events by `(time, class, insertion seq)`,
+//! where same-instant classes fire as *expiration → offline → online →
+//! arrival → replan-tick*, mirroring the half-open `[p, e)` / `[on, off)`
+//! interval semantics of the domain model, and FIFO order breaks exact ties.
+//! Two runs over the same workload are therefore bit-identical.
+//!
+//! ## Replay compatibility
+//!
+//! [`EngineConfig::replay_compat`] reproduces the legacy
+//! [`datawa_assign::AdaptiveRunner::run`] loop exactly (same planning
+//! instants, no release-on-offline), so replaying a `datawa-sim` trace
+//! through the engine yields the same assignment totals as the old driver —
+//! that equivalence is what lets the experiment binaries run on the engine
+//! without changing any reported number at `replan_every = 1`.
+//!
+//! ## Scenarios
+//!
+//! [`ScenarioGenerator`] abstracts workload construction; the four built-ins
+//! ([`UniformBaseline`], [`RushHourBurst`], [`HotspotDrift`],
+//! [`HeavyTailedChurn`]) cover uniform control, bursty rush hours, demand
+//! drift and heavy-tailed worker churn. The Yueche/DiDi-style synthetic-trace
+//! replay adapter lives in `datawa-sim` (`SyntheticTrace::workload`), which
+//! depends on this crate.
+
+pub mod engine;
+pub mod event;
+pub mod scenario;
+
+pub use engine::{run_workload, EngineConfig, EngineOutcome, EngineStats, StreamEngine};
+pub use event::{Event, EventQueue, ScheduledEvent};
+pub use scenario::{
+    builtin_scenarios, HeavyTailedChurn, HotspotDrift, RushHourBurst, ScenarioGenerator,
+    ScenarioSpec, UniformBaseline, Workload,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind};
+    use datawa_core::{Location, Task, TaskId, Timestamp, Worker, WorkerId};
+
+    fn worker(x: f64, y: f64, on: f64, off: f64, d: f64) -> Worker {
+        Worker::new(
+            WorkerId(0),
+            Location::new(x, y),
+            d,
+            Timestamp(on),
+            Timestamp(off),
+        )
+    }
+
+    fn task(x: f64, y: f64, p: f64, e: f64) -> Task {
+        Task::new(TaskId(0), Location::new(x, y), Timestamp(p), Timestamp(e))
+    }
+
+    fn runner(policy: PolicyKind) -> AdaptiveRunner {
+        AdaptiveRunner::new(AssignConfig::unit_speed(), policy)
+    }
+
+    #[test]
+    fn engine_serves_a_simple_stream_like_the_legacy_loop() {
+        let workload = Workload {
+            workers: vec![worker(0.0, 0.0, 0.0, 100.0, 5.0)],
+            tasks: vec![task(1.0, 0.0, 1.0, 50.0), task(2.0, 0.0, 2.0, 60.0)],
+        };
+        let outcome = run_workload(
+            &runner(PolicyKind::Dta),
+            &workload,
+            &[],
+            EngineConfig::default(),
+        );
+        assert_eq!(outcome.run.assigned_tasks, 2);
+        assert_eq!(outcome.run.events, 3, "arrival events only");
+        assert_eq!(outcome.stats.arrivals, 3);
+        // 3 arrivals + 1 offline + 2 expirations.
+        assert_eq!(outcome.stats.events_processed, 6);
+        assert!(outcome.stats.peak_queue_len >= 3);
+    }
+
+    #[test]
+    fn task_expiring_before_any_replan_tick_is_never_assigned() {
+        // Time-driven planning only: the tick fires at t=11 but the task
+        // expired at t=3 — its expiration event must have scrubbed it from
+        // the open view, so nothing is ever planned or dispatched.
+        let workload = Workload {
+            workers: vec![worker(0.0, 0.0, 0.0, 100.0, 5.0)],
+            tasks: vec![task(0.5, 0.0, 1.0, 3.0)],
+        };
+        let outcome = run_workload(
+            &runner(PolicyKind::Dta),
+            &workload,
+            &[],
+            EngineConfig::ticked(11.0),
+        );
+        assert_eq!(outcome.run.assigned_tasks, 0);
+        assert_eq!(outcome.stats.expirations, 1);
+        assert_eq!(outcome.stats.expired_open, 1);
+        assert!(outcome.stats.replan_ticks >= 1);
+        assert_eq!(outcome.run.planning_calls, 0, "no open task at any tick");
+    }
+
+    #[test]
+    fn same_task_is_assigned_when_a_tick_arrives_in_time() {
+        let workload = Workload {
+            workers: vec![worker(0.0, 0.0, 0.0, 100.0, 5.0)],
+            tasks: vec![task(0.5, 0.0, 1.0, 30.0)],
+        };
+        let outcome = run_workload(
+            &runner(PolicyKind::Dta),
+            &workload,
+            &[],
+            EngineConfig::ticked(2.0),
+        );
+        assert_eq!(outcome.run.assigned_tasks, 1);
+    }
+
+    #[test]
+    fn offline_worker_releases_its_fixed_plan_for_others() {
+        // w0 comes online after both tasks are published, receives the FTA
+        // fixed sequence [A, B] (both east of it), serves A, then goes
+        // offline at t=4 with B still undone. With release-on-offline, B
+        // returns to the pool and the late-arriving w1 gets it in its own
+        // fixed plan; under replay-compat semantics B stays reserved forever
+        // and is lost.
+        let w0 = worker(0.0, 0.0, 1.0, 4.0, 10.0);
+        let w1 = worker(2.5, 0.0, 50.0, 100.0, 10.0);
+        let a = task(1.0, 0.0, 0.5, 90.0);
+        let b = task(2.0, 0.0, 0.6, 95.0);
+        let workload = Workload {
+            workers: vec![w0, w1],
+            tasks: vec![a, b],
+        };
+        let released = run_workload(
+            &runner(PolicyKind::Fta),
+            &workload,
+            &[],
+            EngineConfig::default(),
+        );
+        let compat = run_workload(
+            &runner(PolicyKind::Fta),
+            &workload,
+            &[],
+            EngineConfig::replay_compat(1),
+        );
+        assert_eq!(released.run.assigned_tasks, 2, "B released and re-served");
+        assert_eq!(
+            compat.run.assigned_tasks, 1,
+            "B stays reserved by the dead worker"
+        );
+    }
+
+    #[test]
+    fn batched_replanning_plans_less_often_but_still_serves() {
+        let spec = ScenarioSpec::small().with_tasks(150).with_workers(12);
+        let workload = UniformBaseline::new(spec).generate();
+        let per_arrival = run_workload(
+            &runner(PolicyKind::Greedy),
+            &workload,
+            &[],
+            EngineConfig::default(),
+        );
+        let batched = run_workload(
+            &runner(PolicyKind::Greedy),
+            &workload,
+            &[],
+            EngineConfig::batched(16),
+        );
+        assert!(batched.run.planning_calls < per_arrival.run.planning_calls);
+        assert!(batched.run.assigned_tasks > 0);
+        assert!(per_arrival.run.assigned_tasks > 0);
+    }
+
+    #[test]
+    fn engine_runs_are_deterministic() {
+        let spec = ScenarioSpec::small().with_tasks(120).with_workers(10);
+        let workload = HeavyTailedChurn::new(spec).generate();
+        let a = run_workload(
+            &runner(PolicyKind::Dta),
+            &workload,
+            &[],
+            EngineConfig::default(),
+        );
+        let b = run_workload(
+            &runner(PolicyKind::Dta),
+            &workload,
+            &[],
+            EngineConfig::default(),
+        );
+        assert_eq!(a.run.assigned_tasks, b.run.assigned_tasks);
+        assert_eq!(a.run.per_worker, b.run.per_worker);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn infinite_windows_and_expirations_are_legal() {
+        // An always-available worker and a never-expiring task are valid in
+        // the core model; the engine must skip their death events instead of
+        // panicking on a non-finite schedule time.
+        let workload = Workload {
+            workers: vec![worker(0.0, 0.0, 0.0, f64::INFINITY, 5.0)],
+            tasks: vec![
+                task(1.0, 0.0, 1.0, f64::INFINITY),
+                task(2.0, 0.0, 2.0, 60.0),
+            ],
+        };
+        let outcome = run_workload(
+            &runner(PolicyKind::Dta),
+            &workload,
+            &[],
+            EngineConfig::default(),
+        );
+        assert_eq!(outcome.run.assigned_tasks, 2);
+        assert_eq!(outcome.stats.offline, 0, "no offline event scheduled");
+        assert_eq!(outcome.stats.expirations, 1, "only the finite task expires");
+    }
+
+    #[test]
+    #[should_panic(expected = "replan_interval")]
+    fn zero_tick_interval_is_rejected() {
+        // A tick that does not advance time would re-arm at the queue head
+        // forever; the constructor must refuse it.
+        let _ = StreamEngine::new(EngineConfig {
+            replan_interval: Some(0.0),
+            ..EngineConfig::default()
+        });
+    }
+
+    #[test]
+    fn peak_queue_len_resets_between_runs() {
+        let big = UniformBaseline::new(ScenarioSpec::small().with_tasks(300)).generate();
+        let tiny = Workload {
+            workers: vec![worker(0.0, 0.0, 0.0, 100.0, 5.0)],
+            tasks: vec![task(1.0, 0.0, 1.0, 50.0)],
+        };
+        let r = runner(PolicyKind::Greedy);
+        let mut engine = StreamEngine::new(EngineConfig::default());
+        engine.load(&big);
+        let first = engine.run(&r, &[]);
+        engine.load(&tiny);
+        let second = engine.run(&r, &[]);
+        assert!(first.stats.peak_queue_len >= 300);
+        assert!(
+            second.stats.peak_queue_len <= 4,
+            "second run inherited the first run's peak: {}",
+            second.stats.peak_queue_len
+        );
+    }
+
+    #[test]
+    fn all_scenarios_run_end_to_end_on_the_engine() {
+        let spec = ScenarioSpec::small().with_tasks(150).with_workers(15);
+        for scenario in builtin_scenarios(spec) {
+            let workload = scenario.generate();
+            let outcome = run_workload(
+                &runner(PolicyKind::Greedy),
+                &workload,
+                &[],
+                EngineConfig::default(),
+            );
+            assert!(
+                outcome.run.assigned_tasks > 0,
+                "{} served nothing",
+                scenario.name()
+            );
+            assert_eq!(outcome.stats.arrivals, workload.arrival_count());
+            assert!(outcome.run.assigned_tasks <= workload.tasks.len());
+        }
+    }
+}

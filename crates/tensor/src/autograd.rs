@@ -503,7 +503,11 @@ impl Var {
 impl std::fmt::Debug for Var {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (r, c) = self.shape();
-        write!(f, "Var({}x{}, requires_grad={})", r, c, self.0.requires_grad)
+        write!(
+            f,
+            "Var({}x{}, requires_grad={})",
+            r, c, self.0.requires_grad
+        )
     }
 }
 
@@ -513,11 +517,7 @@ mod tests {
 
     /// Finite-difference gradient check for a scalar function of one parameter
     /// matrix.
-    fn check_gradient(
-        param: Matrix,
-        f: impl Fn(&Var) -> Var,
-        tolerance: f64,
-    ) {
+    fn check_gradient(param: Matrix, f: impl Fn(&Var) -> Var, tolerance: f64) {
         let p = Var::parameter(param.clone());
         let loss = f(&p);
         loss.backward();
@@ -566,7 +566,10 @@ mod tests {
             Matrix::from_rows(&[&[0.1, 0.5, -0.3], &[1.0, -1.0, 0.2]]),
             |w| {
                 let target = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
-                w.softmax_rows().hadamard(&Var::constant(target)).sum().scale(-1.0)
+                w.softmax_rows()
+                    .hadamard(&Var::constant(target))
+                    .sum()
+                    .scale(-1.0)
             },
             1e-6,
         );

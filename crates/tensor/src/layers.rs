@@ -204,7 +204,13 @@ mod tests {
         let layer = Dense::new(2, 1, &mut rng);
         let mut opt = Adam::new(0.05, layer.parameters());
         // Target function y = 2*x0 - 3*x1 + 1.
-        let xs = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.5, 0.25]]);
+        let xs = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[0.5, 0.25],
+        ]);
         let ys = Matrix::from_rows(&[&[1.0], &[3.0], &[-2.0], &[0.0], &[1.25]]);
         let mut last = f64::INFINITY;
         for _ in 0..300 {
@@ -215,7 +221,10 @@ mod tests {
             loss.backward();
             opt.step();
         }
-        assert!(last < 1e-3, "dense layer failed to fit a linear map: loss={last}");
+        assert!(
+            last < 1e-3,
+            "dense layer failed to fit a linear map: loss={last}"
+        );
     }
 
     #[test]
@@ -284,11 +293,16 @@ mod tests {
                     None => loss,
                 });
             }
-            let loss = total.expect("non-empty batch").scale(1.0 / sequences.len() as f64);
+            let loss = total
+                .expect("non-empty batch")
+                .scale(1.0 / sequences.len() as f64);
             last = loss.value().get(0, 0);
             loss.backward();
             opt.step();
         }
-        assert!(last < 0.2, "LSTM failed to learn the memory task: loss={last}");
+        assert!(
+            last < 0.2,
+            "LSTM failed to learn the memory task: loss={last}"
+        );
     }
 }

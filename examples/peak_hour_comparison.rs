@@ -23,12 +23,14 @@ fn main() {
         trace.spec.area_km
     );
 
-    let mut config = PipelineConfig::default();
-    config.training = TrainingConfig {
-        epochs: 3,
-        learning_rate: 0.02,
+    let config = PipelineConfig {
+        training: TrainingConfig {
+            epochs: 3,
+            learning_rate: 0.02,
+        },
+        replan_every: 2,
+        ..PipelineConfig::default()
     };
-    config.replan_every = 2;
     let cells = (config.grid_cells_per_side * config.grid_cells_per_side) as usize;
 
     // --- Demand prediction comparison (Fig. 5 in miniature) ---------------

@@ -20,12 +20,14 @@ fn main() {
         trace.history_tasks.len(),
     );
 
-    let mut config = PipelineConfig::default();
-    config.training = TrainingConfig {
-        epochs: 4,
-        learning_rate: 0.02,
+    let config = PipelineConfig {
+        training: TrainingConfig {
+            epochs: 4,
+            learning_rate: 0.02,
+        },
+        replan_every: 2,
+        ..PipelineConfig::default()
     };
-    config.replan_every = 2;
 
     // 1. Task demand prediction with the proposed DDGNN.
     let cells = (config.grid_cells_per_side * config.grid_cells_per_side) as usize;
@@ -43,7 +45,13 @@ fn main() {
     // 2. Assignment: DTA (no prediction) vs the full DATA-WA.
     let dta = run_policy(&trace, PolicyKind::Dta, &[], None, &config);
     let tvf = train_tvf_on_prefix(&trace, &config);
-    let data_wa = run_policy(&trace, PolicyKind::DataWa, &predicted_tasks, Some(tvf), &config);
+    let data_wa = run_policy(
+        &trace,
+        PolicyKind::DataWa,
+        &predicted_tasks,
+        Some(tvf),
+        &config,
+    );
 
     println!("\n[assignment]");
     for summary in [&dta, &data_wa] {

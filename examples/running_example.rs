@@ -70,5 +70,7 @@ fn main() {
         }
     }
     println!("\nThe fixed assignment cannot react to the tasks published at t=2 and t=4,");
-    println!("while the dynamic methods reshuffle each worker's remaining sequence and serve more.");
+    println!(
+        "while the dynamic methods reshuffle each worker's remaining sequence and serve more."
+    );
 }

@@ -17,8 +17,11 @@
 //! * [`assign`] — reachable tasks, maximal valid sequences, DFSearch, the
 //!   Task Value Function, the adaptive streaming runner and the five
 //!   evaluated policies;
+//! * [`stream`] — the discrete-event streaming engine (typed lifecycle
+//!   events, deterministic queue, batched re-planning) and the built-in
+//!   scenario generators;
 //! * [`sim`] — synthetic Yueche/DiDi-like trace generation and the
-//!   end-to-end pipeline.
+//!   end-to-end pipeline (driven through the engine).
 //!
 //! ## Quickstart
 //!
@@ -38,13 +41,14 @@ pub use datawa_geo as geo;
 pub use datawa_graph as graph;
 pub use datawa_predict as predict;
 pub use datawa_sim as sim;
+pub use datawa_stream as stream;
 pub use datawa_tensor as tensor;
 
 /// One-stop imports for examples and downstream binaries.
 pub mod prelude {
     pub use datawa_assign::{
         AdaptiveRunner, ArrivalEvent, AssignConfig, Planner, PolicyKind, PredictedTaskInput,
-        SearchMode, TaskValueFunction,
+        RunnerState, SearchMode, TaskValueFunction,
     };
     pub use datawa_core::prelude::*;
     pub use datawa_geo::{GridSpec, SpatialIndex, UniformGrid};
@@ -53,7 +57,13 @@ pub mod prelude {
         SeriesSpec, TrainingConfig,
     };
     pub use datawa_sim::{
-        run_policy, run_prediction, train_tvf_on_prefix, PipelineConfig, SyntheticTrace, TraceSpec,
+        run_policy, run_policy_legacy, run_prediction, train_tvf_on_prefix, PipelineConfig,
+        SyntheticTrace, TraceSpec,
+    };
+    pub use datawa_stream::{
+        builtin_scenarios, run_workload, EngineConfig, EngineOutcome, Event, EventQueue,
+        HeavyTailedChurn, HotspotDrift, RushHourBurst, ScenarioGenerator, ScenarioSpec,
+        StreamEngine, UniformBaseline, Workload,
     };
 }
 
@@ -62,7 +72,13 @@ mod tests {
     #[test]
     fn facade_reexports_resolve() {
         use crate::prelude::*;
-        let w = Worker::new(WorkerId(0), Location::new(0.0, 0.0), 1.0, Timestamp(0.0), Timestamp(1.0));
+        let w = Worker::new(
+            WorkerId(0),
+            Location::new(0.0, 0.0),
+            1.0,
+            Timestamp(0.0),
+            Timestamp(1.0),
+        );
         assert_eq!(w.id, WorkerId(0));
         assert_eq!(PolicyKind::all().len(), 5);
     }

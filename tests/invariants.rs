@@ -11,8 +11,8 @@ fn workers_strategy(max: usize) -> impl Strategy<Value = Vec<Worker>> {
         (
             0.0f64..10.0,
             0.0f64..10.0,
-            0.2f64..3.0,   // reachable distance
-            0.0f64..50.0,  // online time
+            0.2f64..3.0,    // reachable distance
+            0.0f64..50.0,   // online time
             60.0f64..400.0, // window length
         ),
         1..max,
@@ -39,7 +39,7 @@ fn tasks_strategy(max: usize) -> impl Strategy<Value = Vec<Task>> {
         (
             0.0f64..10.0,
             0.0f64..10.0,
-            0.0f64..120.0, // publication
+            0.0f64..120.0,  // publication
             20.0f64..200.0, // valid time
         ),
         1..max,

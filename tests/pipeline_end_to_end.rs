@@ -34,7 +34,11 @@ fn all_policies_produce_bounded_feasible_outcomes() {
     let mut predictor = DdgnnPredictor::with_defaults(cells, cfg.k, 1);
     let (_, predicted) = run_prediction(&mut predictor, &trace, &cfg);
     for policy in PolicyKind::all() {
-        let predictions: &[_] = if policy.uses_prediction() { &predicted } else { &[] };
+        let predictions: &[_] = if policy.uses_prediction() {
+            &predicted
+        } else {
+            &[]
+        };
         let summary = run_policy(&trace, policy, predictions, None, &cfg);
         assert!(
             summary.assigned_tasks <= trace.tasks.len(),

@@ -1,0 +1,290 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the slice of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], `sample_size`,
+//! `measurement_time`, `throughput`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It is not statistically rigorous — it warms
+//! up, runs batches of iterations until the measurement budget is spent, and
+//! prints the mean wall-clock time per iteration (plus elements/sec when a
+//! [`Throughput`] is set) — but it produces real comparable numbers so perf
+//! trajectories can be tracked PR to PR without network access.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.benchmark_group(name.to_string());
+        group.bench_inner(String::new(), &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation: lets the harness report a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples (kept for API compatibility; the stub folds
+    /// it into the measurement budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure under a plain name.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_inner(id.into_label(), &mut f);
+        self
+    }
+
+    /// Benchmarks a closure that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_inner(id.label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn bench_inner(&self, label: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            min_iters: self.sample_size as u64,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let full = if label.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, label)
+        };
+        let mut line = format!(
+            "{full:<60} time: {:>12}  ({} iterations)",
+            format_ns(bencher.mean_ns),
+            bencher.iters
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |n: u64| n as f64 / (bencher.mean_ns / 1e9);
+            match t {
+                Throughput::Elements(n) if bencher.mean_ns > 0.0 => {
+                    line.push_str(&format!("  thrpt: {:>14.0} elem/s", per_sec(n)));
+                }
+                Throughput::Bytes(n) if bencher.mean_ns > 0.0 => {
+                    line.push_str(&format!("  thrpt: {:>14.0} B/s", per_sec(n)));
+                }
+                _ => {}
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (printing happens per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Conversion helper so both `&str` and [`BenchmarkId`] name benchmarks.
+pub trait IntoLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    budget: Duration,
+    min_iters: u64,
+    /// Mean wall-clock nanoseconds per iteration of the last `iter` call.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration run.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.budget.max(once);
+        let mut iters: u64 = 0;
+        let started = Instant::now();
+        while started.elapsed() < budget || iters < self.min_iters {
+            black_box(f());
+            iters += 1;
+            // Never spin more than ~16M times even for ns-scale bodies.
+            if iters >= (1 << 24) {
+                break;
+            }
+        }
+        let total = started.elapsed();
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Opaque value barrier (re-exported for criterion API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            });
+        });
+        group.finish();
+        assert!(ran >= 5);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2.0e9).ends_with(" s"));
+    }
+}

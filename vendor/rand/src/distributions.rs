@@ -1,0 +1,135 @@
+//! Distributions and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T` (the rand 0.8 shape, so downstream
+/// crates can implement their own).
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`, sampled via Box–Muller.
+///
+/// Lives here (rather than in a `rand_distr` stand-in or per-crate helpers)
+/// so every workload generator in the workspace shares one sampler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Uniform range sampling.
+pub mod uniform {
+    use super::*;
+    use std::ops::Range;
+
+    /// Types usable as the argument of [`Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl SampleRange<f64> for Range<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range: empty f64 range");
+            let u = crate::u64_to_unit_f64(rng.next_u64());
+            // Clamp guards against `start + u * width` rounding up to `end`;
+            // next_down steps toward start whatever end's sign is (a
+            // bit-twiddled `to_bits() - 1` would break for end <= 0).
+            let v = self.start + u * (self.end - self.start);
+            if v >= self.end {
+                self.end.next_down()
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            let wide = (self.start as f64)..(self.end as f64);
+            wide.sample_single(rng) as f32
+        }
+    }
+
+    macro_rules! int_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty integer range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Widen to 128 bits so the modulo bias is negligible for
+                    // every span this workspace samples.
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    (self.start as i128 + (wide % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_sample_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v: usize = (0..5usize).sample_single(&mut rng);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn negative_integer_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v: i32 = (-5..5).sample_single(&mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_ranges_ending_at_or_below_zero_stay_in_bounds() {
+        // The clamp must step toward the start even when `end` is 0.0 or
+        // negative (a bit-decrement of the end would panic or produce NaN).
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = (-3600.0f64..0.0).sample_single(&mut rng);
+            assert!((-3600.0..0.0).contains(&v), "{v} out of [-3600, 0)");
+            let w = (-5.0f64..-2.0).sample_single(&mut rng);
+            assert!((-5.0..-2.0).contains(&w), "{w} out of [-5, -2)");
+        }
+        // The clamp itself picks the largest value strictly below `end`.
+        assert!(0.0f64.next_down() < 0.0);
+        assert!((-2.0f64).next_down() < -2.0);
+    }
+
+    #[test]
+    fn standard_normal_has_sane_moments() {
+        use crate::distributions::{Distribution, StandardNormal};
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

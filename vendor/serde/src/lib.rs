@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serialises data yet (there is no `serde_json` user) —
+//! the derives only exist so the domain types stay source-compatible with the
+//! real serde when a network-enabled build swaps this stub out. `Serialize`
+//! and `Deserialize` are therefore marker traits blanket-implemented for every
+//! type, and the derive macros expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_arbitrary_types() {
+        fn assert_serialize<T: crate::Serialize>(_: &T) {}
+        fn assert_deserialize<T: for<'de> crate::Deserialize<'de>>(_: &T) {}
+        assert_serialize(&42u32);
+        assert_serialize(&vec![1.0f64]);
+        assert_deserialize(&"hello");
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! The stub's `Serialize`/`Deserialize` are blanket-implemented marker
+//! traits, so the derives have nothing to generate; they exist only so
+//! `#[derive(Serialize, Deserialize)]` keeps compiling.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (the stub trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (the stub trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
