@@ -9,7 +9,7 @@
 
 use crate::config::AssignConfig;
 use crate::planner::{Planner, SearchMode};
-use crate::tvf::TaskValueFunction;
+use crate::tvf::{TaskValueFunction, TvfInference};
 use datawa_core::{
     AvailableWorkerView, Duration, Location, OpenTaskView, Task, TaskId, TaskSequence, TaskStore,
     Timestamp, Worker, WorkerId, WorkerMode, WorkerStore,
@@ -118,6 +118,14 @@ pub struct RunOutcome {
     pub mean_planning_seconds: f64,
     /// Tasks served per worker.
     pub per_worker: HashMap<WorkerId, usize>,
+    /// Largest number of independent planning partitions any single planning
+    /// instant split into.
+    pub peak_partitions: usize,
+    /// Workers in the largest partition observed across all instants (the
+    /// pool's critical-path width).
+    pub peak_partition_workers: usize,
+    /// Largest number of pool threads any planning instant actually occupied.
+    pub peak_pool_occupancy: usize,
 }
 
 /// The streaming adaptive runner (Algorithm 3).
@@ -126,8 +134,11 @@ pub struct AdaptiveRunner {
     pub config: AssignConfig,
     /// Which of the five methods to run.
     pub policy: PolicyKind,
-    /// Trained TVF (required by [`PolicyKind::DataWa`]).
-    pub tvf: Option<TaskValueFunction>,
+    /// Inference snapshot of the trained TVF (required by
+    /// [`PolicyKind::DataWa`]; set through [`AdaptiveRunner::with_tvf`]).
+    /// Stored as a snapshot so the runner is `Sync` and shard states that
+    /// borrow it can be stepped on a thread pool.
+    pub tvf: Option<TvfInference>,
     /// How far ahead of `now` predicted tasks are allowed to influence
     /// planning.
     pub prediction_lookahead: Duration,
@@ -164,9 +175,10 @@ impl AdaptiveRunner {
         }
     }
 
-    /// Attaches a trained TVF (required for DATA-WA).
+    /// Attaches a trained TVF (required for DATA-WA); the runner keeps a
+    /// thread-safe inference snapshot of its weights.
     pub fn with_tvf(mut self, tvf: TaskValueFunction) -> AdaptiveRunner {
-        self.tvf = Some(tvf);
+        self.tvf = Some(tvf.inference());
         self
     }
 
@@ -177,8 +189,9 @@ impl AdaptiveRunner {
                 Planner::new(self.config, SearchMode::Exact)
             }
             PolicyKind::DataWa => {
-                // DATA-WA plans through `plan_guided`, which borrows the TVF
-                // owned by the runner; fail fast here if it is missing.
+                // DATA-WA plans through `Planner::plan_guided`, which borrows
+                // the snapshot owned by the runner; fail fast if it is
+                // missing.
                 assert!(
                     self.tvf.is_some(),
                     "PolicyKind::DataWa requires a trained TVF (use with_tvf)"
@@ -263,62 +276,6 @@ impl AdaptiveRunner {
         }
         (store, mapping)
     }
-
-    /// Plans with the TVF-guided search (DATA-WA). Kept separate because the
-    /// planner owns its TVF and the runner's TVF must outlive many calls.
-    fn plan_guided(
-        &self,
-        worker_ids: &[WorkerId],
-        candidate_tasks: &[TaskId],
-        workers: &WorkerStore,
-        tasks: &TaskStore,
-        now: Timestamp,
-    ) -> (datawa_core::Assignment, crate::planner::PlanningReport) {
-        use crate::reachable::{build_worker_dependency_graph, reachable_tasks};
-        use crate::search::DfSearch;
-        use crate::sequences::generate_sequences;
-        use datawa_graph::ClusterTree;
-        use std::time::Instant;
-
-        let tvf = self
-            .tvf
-            .as_ref()
-            .expect("PolicyKind::DataWa requires a trained TVF (use with_tvf)");
-        let start = Instant::now();
-        let mut report = crate::planner::PlanningReport {
-            workers_considered: worker_ids.len(),
-            tasks_considered: candidate_tasks.len(),
-            ..Default::default()
-        };
-        if worker_ids.is_empty() || candidate_tasks.is_empty() {
-            report.elapsed_seconds = start.elapsed().as_secs_f64();
-            return (datawa_core::Assignment::new(), report);
-        }
-        let reachable = reachable_tasks(
-            worker_ids,
-            candidate_tasks,
-            workers,
-            tasks,
-            &self.config,
-            now,
-        );
-        report.mean_reachable = reachable.mean_reachable();
-        let mut sequences = HashMap::with_capacity(worker_ids.len());
-        for &w in worker_ids {
-            sequences.insert(
-                w,
-                generate_sequences(workers.get(w), reachable.of(w), tasks, &self.config, now),
-            );
-        }
-        let search = DfSearch::new(workers, tasks, &self.config, now, &sequences, &reachable);
-        let (graph, mapping) = build_worker_dependency_graph(worker_ids, &reachable);
-        let tree = ClusterTree::build(&graph);
-        report.tree_nodes = tree.len();
-        let mut available: HashSet<TaskId> = candidate_tasks.iter().copied().collect();
-        let assignment = search.guided(&tree, &mapping, &mut available, tvf);
-        report.elapsed_seconds = start.elapsed().as_secs_f64();
-        (assignment, report)
-    }
 }
 
 /// The live state of one streaming run, exposed stepwise so that external
@@ -355,6 +312,21 @@ impl RunnerState<'_> {
     #[inline]
     pub fn record_event(&mut self) {
         self.outcome.events += 1;
+    }
+
+    /// Number of candidate open tasks currently tracked by the incremental
+    /// view (may include lazily prunable entries). The sharded engine uses
+    /// this as the demand signal when handing boundary workers to a shard.
+    #[inline]
+    pub fn open_candidates(&self) -> usize {
+        self.open_view.len()
+    }
+
+    /// Number of candidate available workers currently tracked by the
+    /// incremental view.
+    #[inline]
+    pub fn available_candidates(&self) -> usize {
+        self.available_view.len()
     }
 
     /// Inserts an arriving worker and returns its dense id.
@@ -447,12 +419,18 @@ impl RunnerState<'_> {
             };
             if !planning_workers.is_empty() {
                 let (assignment, report) = if policy == PolicyKind::DataWa {
-                    self.runner.plan_guided(
+                    let tvf = self
+                        .runner
+                        .tvf
+                        .as_ref()
+                        .expect("PolicyKind::DataWa requires a trained TVF (use with_tvf)");
+                    self.planner.plan_guided(
                         &planning_workers,
                         &planning_task_ids,
                         &self.workers,
                         &planning_store,
                         now,
+                        tvf,
                     )
                 } else {
                     self.planner.plan(
@@ -465,6 +443,13 @@ impl RunnerState<'_> {
                 };
                 self.outcome.planning_calls += 1;
                 self.outcome.total_planning_seconds += report.elapsed_seconds;
+                self.outcome.peak_partitions = self.outcome.peak_partitions.max(report.partitions);
+                self.outcome.peak_partition_workers = self
+                    .outcome
+                    .peak_partition_workers
+                    .max(report.max_partition_workers);
+                self.outcome.peak_pool_occupancy =
+                    self.outcome.peak_pool_occupancy.max(report.threads_used);
                 if policy == PolicyKind::Fta {
                     // Pin the fixed plans of the planned workers, mapped back
                     // to real task ids, skipping tasks already reserved by

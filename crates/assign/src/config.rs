@@ -30,6 +30,13 @@ pub struct AssignConfig {
     /// Whether to use the worker-dependency-separation clique tree (ablation
     /// switch; `false` solves each connected component as a single node).
     pub use_dependency_separation: bool,
+    /// Number of planner threads the partitioned search fans cluster-tree
+    /// subtrees out to. `0` (the default) defers to the `DATAWA_THREADS`
+    /// environment variable, falling back to single-threaded planning when it
+    /// is unset; any positive value pins the pool size explicitly. Results
+    /// are identical for every thread count by construction (partitions are
+    /// worker- and task-disjoint and merge in partition order).
+    pub threads: usize,
 }
 
 impl Default for AssignConfig {
@@ -41,6 +48,7 @@ impl Default for AssignConfig {
             include_subsets: true,
             search_node_budget: 20_000,
             use_dependency_separation: true,
+            threads: 0,
         }
     }
 }

@@ -13,7 +13,9 @@
 
 pub mod adaptive;
 pub mod config;
+pub mod partition;
 pub mod planner;
+pub mod pool;
 pub mod reachable;
 pub mod search;
 pub mod sequences;
@@ -23,8 +25,9 @@ pub use adaptive::{
     AdaptiveRunner, ArrivalEvent, PolicyKind, PredictedTaskInput, RunOutcome, RunnerState,
 };
 pub use config::AssignConfig;
+pub use partition::{split_cluster_tree, Partition};
 pub use planner::{Planner, PlanningReport, SearchMode};
 pub use reachable::{build_worker_dependency_graph, reachable_tasks, ReachableSets};
 pub use search::{DfSearch, SearchSample};
 pub use sequences::{generate_sequences, SequenceSet};
-pub use tvf::{ActionFeatures, StateFeatures, TaskValueFunction};
+pub use tvf::{ActionFeatures, StateFeatures, TaskValueFunction, TvfInference};

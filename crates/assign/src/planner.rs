@@ -4,12 +4,31 @@
 //! instant: reachable tasks → candidate sequences → worker dependency graph →
 //! graph partition and recursive tree construction → exact or TVF-guided
 //! depth-first search, per connected component.
+//!
+//! ## Partitioned, multi-core planning
+//!
+//! Each root subtree of the cluster tree is an independent subproblem (its
+//! workers and reachable tasks are disjoint from every other subtree's), so
+//! the planner splits the instant into [`Partition`]s and fans them out to a
+//! scoped thread pool ([`crate::pool`]), sized by [`AssignConfig::threads`]
+//! (or the `DATAWA_THREADS` environment variable). Every partition is
+//! searched against a partition-local available-task set and results merge
+//! in partition-index order, so the assignment is bitwise identical for
+//! every thread count — including the inline single-threaded path, which
+//! spawns nothing.
+//!
+//! State features fed to the TVF (and recorded in training samples) are
+//! *subproblem-local*: `remaining_tasks` counts the partition's own open
+//! tasks, not the whole instant's, so training and inference see the same
+//! distribution regardless of how many partitions the instant split into.
 
 use crate::config::AssignConfig;
+use crate::partition::{split_cluster_tree, Partition};
+use crate::pool;
 use crate::reachable::{build_worker_dependency_graph, reachable_tasks};
 use crate::search::{DfSearch, SearchSample};
 use crate::sequences::{generate_sequences, SequenceSet};
-use crate::tvf::TaskValueFunction;
+use crate::tvf::{TaskValueFunction, TvfInference};
 use datawa_core::{Assignment, TaskId, TaskStore, Timestamp, WorkerId, WorkerStore};
 use datawa_graph::{ClusterTree, TreeNode, UnGraph};
 use std::collections::{HashMap, HashSet};
@@ -28,6 +47,16 @@ pub struct PlanningReport {
     pub tree_nodes: usize,
     /// Average reachable tasks per worker.
     pub mean_reachable: f64,
+    /// Number of independent planning partitions (cluster-tree root
+    /// subtrees) this instant split into. Zero for the greedy baseline,
+    /// which has no dependency graph.
+    pub partitions: usize,
+    /// Workers in the largest partition — the span of the critical path a
+    /// thread pool cannot shorten further.
+    pub max_partition_workers: usize,
+    /// Threads the partition pool actually occupied
+    /// (`min(configured, partitions)`, at least 1).
+    pub threads_used: usize,
 }
 
 /// How the planner searches each cluster tree.
@@ -42,13 +71,23 @@ pub enum SearchMode {
 }
 
 /// The TPA planner.
+///
+/// The planner owns reusable scratch storage for the hot replan path (the
+/// per-worker sequence map, rebuilt at every planning instant), so callers
+/// that keep one planner alive across instants — the adaptive runner does —
+/// pay the map's allocation once instead of per call. Planning therefore
+/// takes `&mut self`.
 pub struct Planner {
     /// Shared configuration.
     pub config: AssignConfig,
     /// Search mode.
     pub mode: SearchMode,
-    /// Trained task value function (required for [`SearchMode::Guided`]).
-    pub tvf: Option<TaskValueFunction>,
+    /// Inference snapshot of the trained task value function (required for
+    /// [`SearchMode::Guided`]; set through [`Planner::with_tvf`]).
+    tvf: Option<TvfInference>,
+    /// Scratch: candidate sequences per worker, reused across planning calls
+    /// (cleared, not reallocated).
+    scratch_sequences: HashMap<WorkerId, SequenceSet>,
 }
 
 impl Planner {
@@ -58,19 +97,74 @@ impl Planner {
             config,
             mode,
             tvf: None,
+            scratch_sequences: HashMap::new(),
         }
     }
 
-    /// Attaches a trained TVF (used by [`SearchMode::Guided`]).
+    /// Attaches a trained TVF (used by [`SearchMode::Guided`]); the planner
+    /// keeps a thread-safe inference snapshot of its weights.
     pub fn with_tvf(mut self, tvf: TaskValueFunction) -> Planner {
-        self.tvf = Some(tvf);
+        self.tvf = Some(tvf.inference());
         self
     }
 
     /// Plans task sequences for `worker_ids` over `candidate_tasks` at `now`
     /// (Algorithm 4), returning the assignment and planning diagnostics.
     pub fn plan(
-        &self,
+        &mut self,
+        worker_ids: &[WorkerId],
+        candidate_tasks: &[TaskId],
+        workers: &WorkerStore,
+        tasks: &TaskStore,
+        now: Timestamp,
+    ) -> (Assignment, PlanningReport) {
+        match self.mode {
+            SearchMode::Greedy => {
+                self.plan_greedy(worker_ids, candidate_tasks, workers, tasks, now)
+            }
+            SearchMode::Exact => {
+                self.plan_partitioned(worker_ids, candidate_tasks, workers, tasks, now, None)
+            }
+            SearchMode::Guided => {
+                // Detach the snapshot for the duration of the call so the
+                // partition pool can borrow it alongside the scratch buffers.
+                let tvf = self
+                    .tvf
+                    .take()
+                    .expect("SearchMode::Guided requires a trained TVF");
+                let out = self.plan_partitioned(
+                    worker_ids,
+                    candidate_tasks,
+                    workers,
+                    tasks,
+                    now,
+                    Some(&tvf),
+                );
+                self.tvf = Some(tvf);
+                out
+            }
+        }
+    }
+
+    /// Plans with the TVF-guided search using a caller-provided inference
+    /// snapshot (the DATA-WA policy's entry point: the adaptive runner owns
+    /// the snapshot and must outlive many planning calls).
+    pub fn plan_guided(
+        &mut self,
+        worker_ids: &[WorkerId],
+        candidate_tasks: &[TaskId],
+        workers: &WorkerStore,
+        tasks: &TaskStore,
+        now: Timestamp,
+        tvf: &TvfInference,
+    ) -> (Assignment, PlanningReport) {
+        self.plan_partitioned(worker_ids, candidate_tasks, workers, tasks, now, Some(tvf))
+    }
+
+    /// The greedy baseline: no dependency graph, no partitions, one ordered
+    /// pass over the workers.
+    fn plan_greedy(
+        &mut self,
         worker_ids: &[WorkerId],
         candidate_tasks: &[TaskId],
         workers: &WorkerStore,
@@ -81,6 +175,52 @@ impl Planner {
         let mut report = PlanningReport {
             workers_considered: worker_ids.len(),
             tasks_considered: candidate_tasks.len(),
+            threads_used: 1,
+            ..PlanningReport::default()
+        };
+        if worker_ids.is_empty() || candidate_tasks.is_empty() {
+            report.elapsed_seconds = start.elapsed().as_secs_f64();
+            return (Assignment::new(), report);
+        }
+        let config = self.config;
+        let reachable = reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &config, now);
+        report.mean_reachable = reachable.mean_reachable();
+        let sequences = Self::fill_sequences(
+            &mut self.scratch_sequences,
+            worker_ids,
+            workers,
+            tasks,
+            &reachable,
+            &config,
+            now,
+        );
+        let search = DfSearch::new(workers, tasks, &config, now, sequences, &reachable);
+        let mut available: HashSet<TaskId> = HashSet::with_capacity(candidate_tasks.len());
+        available.extend(candidate_tasks.iter().copied());
+        let assignment = search.greedy(worker_ids, &mut available);
+        report.elapsed_seconds = start.elapsed().as_secs_f64();
+        (assignment, report)
+    }
+
+    /// The partitioned search path shared by [`SearchMode::Exact`] and the
+    /// TVF-guided modes: build the dependency graph and cluster tree once,
+    /// split the instant into independent partitions, search each partition
+    /// against its own available set on the pool, and merge in partition
+    /// order.
+    fn plan_partitioned(
+        &mut self,
+        worker_ids: &[WorkerId],
+        candidate_tasks: &[TaskId],
+        workers: &WorkerStore,
+        tasks: &TaskStore,
+        now: Timestamp,
+        tvf: Option<&TvfInference>,
+    ) -> (Assignment, PlanningReport) {
+        let start = Instant::now();
+        let mut report = PlanningReport {
+            workers_considered: worker_ids.len(),
+            tasks_considered: candidate_tasks.len(),
+            threads_used: 1,
             ..PlanningReport::default()
         };
         if worker_ids.is_empty() || candidate_tasks.is_empty() {
@@ -88,54 +228,58 @@ impl Planner {
             return (Assignment::new(), report);
         }
         // Lines 2–5: reachable tasks and candidate sequences per worker.
-        let reachable = reachable_tasks(
+        let config = self.config;
+        let reachable = reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &config, now);
+        report.mean_reachable = reachable.mean_reachable();
+        let sequences = Self::fill_sequences(
+            &mut self.scratch_sequences,
             worker_ids,
-            candidate_tasks,
             workers,
             tasks,
-            &self.config,
+            &reachable,
+            &config,
             now,
         );
-        report.mean_reachable = reachable.mean_reachable();
-        let mut sequences: HashMap<WorkerId, SequenceSet> =
-            HashMap::with_capacity(worker_ids.len());
-        for &w in worker_ids {
-            sequences.insert(
-                w,
-                generate_sequences(workers.get(w), reachable.of(w), tasks, &self.config, now),
-            );
-        }
-        let search = DfSearch::new(workers, tasks, &self.config, now, &sequences, &reachable);
-        let mut available: HashSet<TaskId> = candidate_tasks.iter().copied().collect();
-        let assignment = match self.mode {
-            SearchMode::Greedy => search.greedy(worker_ids, &mut available),
-            SearchMode::Exact | SearchMode::Guided => {
-                // Line 6: worker dependency graph; lines 7–10: per component,
-                // partition, build the tree, and search it.
-                let (graph, mapping) = build_worker_dependency_graph(worker_ids, &reachable);
-                let tree = self.build_tree(&graph);
-                report.tree_nodes = tree.len();
-                match self.mode {
-                    SearchMode::Exact => search.exact(&tree, &mapping, &mut available, None),
-                    SearchMode::Guided => {
-                        let tvf = self
-                            .tvf
-                            .as_ref()
-                            .expect("SearchMode::Guided requires a trained TVF");
-                        search.guided(&tree, &mapping, &mut available, tvf)
-                    }
-                    SearchMode::Greedy => unreachable!(),
-                }
+        let search = DfSearch::new(workers, tasks, &config, now, sequences, &reachable);
+        // Line 6: worker dependency graph; lines 7–10: per component,
+        // partition, build the tree, and search it — one partition (root
+        // subtree) per pool task.
+        let (graph, mapping) = build_worker_dependency_graph(worker_ids, &reachable);
+        let tree = build_tree(&config, &graph);
+        report.tree_nodes = tree.len();
+        let partitions = split_cluster_tree(&tree, &mapping, &reachable);
+        report.partitions = partitions.len();
+        report.max_partition_workers = partitions
+            .iter()
+            .map(|p| p.worker_ids.len())
+            .max()
+            .unwrap_or(0);
+        let threads = pool::effective_threads(config.threads);
+        report.threads_used = threads.min(partitions.len()).max(1);
+        let plans = pool::run_indexed(threads, &partitions, |_, p: &Partition| {
+            let mut available = p.task_set();
+            match tvf {
+                None => search.exact_partition(&tree, &mapping, p.root, &mut available, None),
+                Some(tvf) => search.guided_partition(&tree, &mapping, p.root, &mut available, tvf),
             }
-        };
+        });
+        let mut assignment = Assignment::new();
+        for plan in plans {
+            for (w, seq) in plan {
+                assignment.set(w, seq);
+            }
+        }
         report.elapsed_seconds = start.elapsed().as_secs_f64();
         (assignment, report)
     }
 
     /// Runs the exact search while collecting `(state, action, opt)` samples
-    /// for TVF training (the data-gathering phase of §IV-B).
+    /// for TVF training (the data-gathering phase of §IV-B). Partitions are
+    /// searched sequentially (sample order must stay deterministic) against
+    /// partition-local available sets, so recorded state features match what
+    /// the guided search will later observe.
     pub fn collect_training_samples(
-        &self,
+        &mut self,
         worker_ids: &[WorkerId],
         candidate_tasks: &[TaskId],
         workers: &WorkerStore,
@@ -145,49 +289,71 @@ impl Planner {
         if worker_ids.is_empty() || candidate_tasks.is_empty() {
             return Vec::new();
         }
-        let reachable = reachable_tasks(
+        let config = self.config;
+        let reachable = reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &config, now);
+        let sequences = Self::fill_sequences(
+            &mut self.scratch_sequences,
             worker_ids,
-            candidate_tasks,
             workers,
             tasks,
-            &self.config,
+            &reachable,
+            &config,
             now,
         );
-        let mut sequences: HashMap<WorkerId, SequenceSet> =
-            HashMap::with_capacity(worker_ids.len());
-        for &w in worker_ids {
-            sequences.insert(
-                w,
-                generate_sequences(workers.get(w), reachable.of(w), tasks, &self.config, now),
-            );
-        }
-        let search = DfSearch::new(workers, tasks, &self.config, now, &sequences, &reachable);
+        let search = DfSearch::new(workers, tasks, &config, now, sequences, &reachable);
         let (graph, mapping) = build_worker_dependency_graph(worker_ids, &reachable);
-        let tree = self.build_tree(&graph);
-        let mut available: HashSet<TaskId> = candidate_tasks.iter().copied().collect();
+        let tree = build_tree(&config, &graph);
+        let partitions = split_cluster_tree(&tree, &mapping, &reachable);
         let mut samples = Vec::new();
-        let _ = search.exact(&tree, &mapping, &mut available, Some(&mut samples));
+        for p in &partitions {
+            let mut available = p.task_set();
+            let _ =
+                search.exact_partition(&tree, &mapping, p.root, &mut available, Some(&mut samples));
+        }
         samples
     }
 
-    /// Builds the cluster tree, honouring the ablation switch: with dependency
-    /// separation disabled, every connected component becomes a single flat
-    /// tree node (no search-space reduction).
-    fn build_tree(&self, graph: &UnGraph) -> ClusterTree {
-        if self.config.use_dependency_separation {
-            ClusterTree::build(graph)
-        } else {
-            let mut tree = ClusterTree::default();
-            for component in graph.connected_components() {
-                let index = tree.nodes.len();
-                tree.nodes.push(TreeNode {
-                    members: component,
-                    children: Vec::new(),
-                });
-                tree.roots.push(index);
-            }
-            tree
+    /// Rebuilds the per-worker sequence map into the reusable scratch buffer
+    /// and returns it as a shared borrow for the search.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_sequences<'a>(
+        scratch: &'a mut HashMap<WorkerId, SequenceSet>,
+        worker_ids: &[WorkerId],
+        workers: &WorkerStore,
+        tasks: &TaskStore,
+        reachable: &crate::reachable::ReachableSets,
+        config: &AssignConfig,
+        now: Timestamp,
+    ) -> &'a HashMap<WorkerId, SequenceSet> {
+        scratch.clear();
+        scratch.reserve(worker_ids.len());
+        for &w in worker_ids {
+            scratch.insert(
+                w,
+                generate_sequences(workers.get(w), reachable.of(w), tasks, config, now),
+            );
         }
+        scratch
+    }
+}
+
+/// Builds the cluster tree, honouring the ablation switch: with dependency
+/// separation disabled, every connected component becomes a single flat
+/// tree node (no search-space reduction).
+fn build_tree(config: &AssignConfig, graph: &UnGraph) -> ClusterTree {
+    if config.use_dependency_separation {
+        ClusterTree::build(graph)
+    } else {
+        let mut tree = ClusterTree::default();
+        for component in graph.connected_components() {
+            let index = tree.nodes.len();
+            tree.nodes.push(TreeNode {
+                members: component,
+                children: Vec::new(),
+            });
+            tree.roots.push(index);
+        }
+        tree
     }
 }
 
@@ -222,7 +388,11 @@ mod tests {
     #[test]
     fn exact_planner_produces_a_feasible_assignment() {
         let (workers, tasks) = scenario(4, 8);
-        let planner = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
+        // Pin threads = 1: the default (0) defers to DATAWA_THREADS, which
+        // the CI matrix sets, and this test asserts on threads_used.
+        let mut config = AssignConfig::unit_speed();
+        config.threads = 1;
+        let mut planner = Planner::new(config, SearchMode::Exact);
         let wids: Vec<WorkerId> = workers.ids().collect();
         let tids: Vec<TaskId> = tasks.ids().collect();
         let (assignment, report) = planner.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
@@ -232,6 +402,9 @@ mod tests {
             .is_empty());
         assert!(report.elapsed_seconds >= 0.0);
         assert!(report.tree_nodes >= 1);
+        assert!(report.partitions >= 1);
+        assert!(report.max_partition_workers >= 1);
+        assert_eq!(report.threads_used, 1, "threads = 1 plans inline");
         assert_eq!(report.workers_considered, 4);
     }
 
@@ -240,8 +413,8 @@ mod tests {
         let (workers, tasks) = scenario(5, 10);
         let wids: Vec<WorkerId> = workers.ids().collect();
         let tids: Vec<TaskId> = tasks.ids().collect();
-        let exact = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
-        let greedy = Planner::new(AssignConfig::unit_speed(), SearchMode::Greedy);
+        let mut exact = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
+        let mut greedy = Planner::new(AssignConfig::unit_speed(), SearchMode::Greedy);
         let (a_exact, _) = exact.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
         let (a_greedy, _) = greedy.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
         assert!(a_exact.assigned_count() >= a_greedy.assigned_count());
@@ -252,14 +425,14 @@ mod tests {
         let (workers, tasks) = scenario(4, 8);
         let wids: Vec<WorkerId> = workers.ids().collect();
         let tids: Vec<TaskId> = tasks.ids().collect();
-        let collector = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
+        let mut collector = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
         let samples =
             collector.collect_training_samples(&wids, &tids, &workers, &tasks, Timestamp(0.0));
         assert!(!samples.is_empty());
         let mut tvf = TaskValueFunction::new(16, 0);
         let tuples: Vec<_> = samples.iter().map(|s| (s.state, s.action, s.opt)).collect();
         tvf.train(&tuples, 60, 16, 0.01, 0);
-        let guided = Planner::new(AssignConfig::unit_speed(), SearchMode::Guided).with_tvf(tvf);
+        let mut guided = Planner::new(AssignConfig::unit_speed(), SearchMode::Guided).with_tvf(tvf);
         let (assignment, _) = guided.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
         assert!(assignment
             .validate(&workers, &tasks, &guided.config.travel, Timestamp(0.0))
@@ -272,26 +445,60 @@ mod tests {
         let (workers, tasks) = scenario(4, 6);
         let mut config = AssignConfig::unit_speed();
         config.use_dependency_separation = false;
-        let planner = Planner::new(config, SearchMode::Exact);
+        let mut planner = Planner::new(config, SearchMode::Exact);
         let wids: Vec<WorkerId> = workers.ids().collect();
         let tids: Vec<TaskId> = tasks.ids().collect();
         let (assignment, report) = planner.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
         assert!(assignment
             .validate(&workers, &tasks, &config.travel, Timestamp(0.0))
             .is_empty());
-        // One flat node per connected component.
+        // One flat node per connected component, each its own partition.
         assert!(report.tree_nodes >= 1);
+        assert_eq!(report.partitions, report.tree_nodes);
     }
 
     #[test]
     fn empty_inputs_plan_nothing() {
         let (workers, tasks) = scenario(2, 2);
-        let planner = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
+        let mut planner = Planner::new(AssignConfig::unit_speed(), SearchMode::Exact);
         let (a, r) = planner.plan(&[], &[], &workers, &tasks, Timestamp(0.0));
         assert!(a.is_empty());
         assert_eq!(r.tasks_considered, 0);
         assert!(planner
             .collect_training_samples(&[], &[], &workers, &tasks, Timestamp(0.0))
             .is_empty());
+    }
+
+    /// The determinism contract of the partition pool: every thread count
+    /// (including oversubscription far beyond the partition count) produces
+    /// the identical assignment, for both search families.
+    #[test]
+    fn thread_count_never_changes_the_plan() {
+        let (workers, tasks) = scenario(6, 12);
+        let wids: Vec<WorkerId> = workers.ids().collect();
+        let tids: Vec<TaskId> = tasks.ids().collect();
+        for mode in [SearchMode::Exact, SearchMode::Guided] {
+            let mut reference = None;
+            for threads in [1usize, 2, 4, 16] {
+                let config = AssignConfig {
+                    threads,
+                    ..AssignConfig::unit_speed()
+                };
+                let mut planner = Planner::new(config, mode);
+                if mode == SearchMode::Guided {
+                    planner = planner.with_tvf(TaskValueFunction::new(8, 42));
+                }
+                let (assignment, report) =
+                    planner.plan(&wids, &tids, &workers, &tasks, Timestamp(0.0));
+                assert!(report.threads_used >= 1 && report.threads_used <= threads);
+                match &reference {
+                    None => reference = Some(assignment),
+                    Some(r) => assert_eq!(
+                        r, &assignment,
+                        "mode {mode:?} diverged at threads={threads}"
+                    ),
+                }
+            }
+        }
     }
 }

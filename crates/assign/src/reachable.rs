@@ -3,7 +3,7 @@
 use crate::config::AssignConfig;
 use datawa_core::{TaskId, TaskStore, Timestamp, WorkerId, WorkerStore};
 use datawa_graph::UnGraph;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 /// The reachable task sets `RS_w` of a group of workers at one planning
 /// instant.
@@ -75,19 +75,37 @@ pub fn reachable_tasks(
 /// between two workers whenever their reachable task sets intersect
 /// (§IV-A.2). Returns the graph together with the worker id carried by each
 /// node index.
+///
+/// The construction inverts the reachable sets into a task → workers index
+/// and links co-reachers per task, instead of testing all `O(|W|²)` worker
+/// pairs for set intersection: with the per-worker reachable cap `k` this is
+/// `O(Σ_task (co-reachers)²)`, which on spatially spread instances is near
+/// linear in `|W|·k` — the graph itself is identical either way, only the
+/// cost of producing it changes (it is the serial step ahead of the
+/// partition-parallel search, so it must not dominate the planning instant).
 pub fn build_worker_dependency_graph(
     worker_ids: &[WorkerId],
     reachable: &ReachableSets,
 ) -> (UnGraph, Vec<WorkerId>) {
     let mut graph = UnGraph::new(worker_ids.len());
-    let sets: Vec<BTreeSet<TaskId>> = worker_ids
-        .iter()
-        .map(|w| reachable.of(*w).iter().copied().collect())
-        .collect();
-    for i in 0..worker_ids.len() {
-        for j in (i + 1)..worker_ids.len() {
-            if !sets[i].is_disjoint(&sets[j]) {
-                graph.add_edge(i, j);
+    let mut by_task: HashMap<TaskId, Vec<usize>> = HashMap::new();
+    for (i, &w) in worker_ids.iter().enumerate() {
+        for &t in reachable.of(w) {
+            by_task.entry(t).or_default().push(i);
+        }
+    }
+    // Pairs sharing several tasks come up once per shared task; the
+    // `has_edge` guard makes the duplicates a single adjacency lookup
+    // instead of two idempotent set inserts, with no transient memory
+    // beyond the graph itself (the co-reacher lists of a hotspot can cover
+    // most worker pairs, so materialising the pair list would be quadratic
+    // in workers).
+    for co_reachers in by_task.values() {
+        for (a, &u) in co_reachers.iter().enumerate() {
+            for &v in &co_reachers[a + 1..] {
+                if !graph.has_edge(u, v) {
+                    graph.add_edge(u, v);
+                }
             }
         }
     }

@@ -4,12 +4,17 @@
 //! Both searches operate on one cluster tree produced by worker dependency
 //! separation. Because sibling subtrees are worker-independent (their
 //! reachable task sets do not intersect), the searches can consume a shared
-//! pool of available tasks sequentially without losing optimality.
+//! pool of available tasks sequentially without losing optimality — or, since
+//! root subtrees are additionally *task*-independent, each root can be
+//! searched against a partition-local available set on its own thread
+//! ([`DfSearch::exact_partition`] / [`DfSearch::guided_partition`], driven by
+//! the planner's partition pool). The whole-tree entry points below are thin
+//! sequential sweeps over the same per-root searches.
 
 use crate::config::AssignConfig;
 use crate::reachable::ReachableSets;
 use crate::sequences::SequenceSet;
-use crate::tvf::{ActionFeatures, StateFeatures, TaskValueFunction};
+use crate::tvf::{ActionFeatures, StateFeatures, TvfInference};
 use datawa_core::{Assignment, TaskId, TaskSequence, TaskStore, Timestamp, WorkerId, WorkerStore};
 use datawa_graph::ClusterTree;
 use std::collections::{HashMap, HashSet};
@@ -73,16 +78,7 @@ impl<'a> DfSearch<'a> {
     ) -> Assignment {
         let mut assignment = Assignment::new();
         for &root in &tree.roots {
-            let mut budget = self.config.search_node_budget;
-            let (_, plan) = self.exact_node(
-                tree,
-                mapping,
-                root,
-                &self.node_workers(tree, mapping, root),
-                available,
-                &mut budget,
-                &mut samples,
-            );
+            let plan = self.exact_partition(tree, mapping, root, available, samples.as_deref_mut());
             for (w, seq) in plan {
                 for t in seq.iter() {
                     available.remove(&t);
@@ -91,6 +87,34 @@ impl<'a> DfSearch<'a> {
             }
         }
         assignment
+    }
+
+    /// Exact search over a single root subtree (one planning partition).
+    ///
+    /// `available` is restored to its input state before returning (the
+    /// caller commits the plan); because root subtrees are task-disjoint it
+    /// may equally be the shared whole-instant set or a partition-local one —
+    /// the returned plan is identical, which is what lets the planner run
+    /// partitions on a thread pool without changing any assignment.
+    pub fn exact_partition(
+        &self,
+        tree: &ClusterTree,
+        mapping: &[WorkerId],
+        root: usize,
+        available: &mut HashSet<TaskId>,
+        mut samples: Option<&mut Vec<SearchSample>>,
+    ) -> Vec<(WorkerId, TaskSequence)> {
+        let mut budget = self.config.search_node_budget;
+        let (_, plan) = self.exact_node(
+            tree,
+            mapping,
+            root,
+            &self.node_workers(tree, mapping, root),
+            available,
+            &mut budget,
+            &mut samples,
+        );
+        plan
     }
 
     fn node_workers(&self, tree: &ClusterTree, mapping: &[WorkerId], node: usize) -> Vec<WorkerId> {
@@ -251,27 +275,67 @@ impl<'a> DfSearch<'a> {
     /// Greedy tree traversal guided by the trained Task Value Function: each
     /// worker receives the candidate sequence with the highest predicted
     /// long-term value, without backtracking.
+    ///
+    /// Takes a [`TvfInference`] snapshot (see [`crate::TaskValueFunction::inference`])
+    /// so the same code path serves both the serial sweep here and the
+    /// planner's partition pool.
+    ///
+    /// Unlike the exact search, the guided search *reads* the available set
+    /// (its `remaining_tasks` state feature is `available.len()`), so each
+    /// root is searched against a partition-local set — the subtree's
+    /// reachable tasks still present in `available` — exactly as the
+    /// planner's partition pool does. The sweep is therefore bitwise
+    /// identical to the pooled path for every thread count, and matches the
+    /// subproblem-local features the TVF was trained on.
     pub fn guided(
         &self,
         tree: &ClusterTree,
         mapping: &[WorkerId],
         available: &mut HashSet<TaskId>,
-        tvf: &TaskValueFunction,
+        tvf: &TvfInference,
     ) -> Assignment {
         let mut assignment = Assignment::new();
         for &root in &tree.roots {
-            let workers = self.node_workers(tree, mapping, root);
-            self.guided_node(
-                tree,
-                mapping,
-                root,
-                &workers,
-                available,
-                tvf,
-                &mut assignment,
-            );
+            let mut local: HashSet<TaskId> = tree
+                .subtree_members(root)
+                .into_iter()
+                .flat_map(|i| self.reachable.of(mapping[i]).iter().copied())
+                .filter(|t| available.contains(t))
+                .collect();
+            for (w, seq) in self.guided_partition(tree, mapping, root, &mut local, tvf) {
+                for t in seq.iter() {
+                    available.remove(&t);
+                }
+                assignment.set(w, seq);
+            }
         }
         assignment
+    }
+
+    /// Guided search over a single root subtree (one planning partition).
+    ///
+    /// Assigned tasks are removed from `available` as sequences are pinned
+    /// (the guided search never backtracks), so the returned plan is already
+    /// exclusive within the partition.
+    pub fn guided_partition(
+        &self,
+        tree: &ClusterTree,
+        mapping: &[WorkerId],
+        root: usize,
+        available: &mut HashSet<TaskId>,
+        tvf: &TvfInference,
+    ) -> Vec<(WorkerId, TaskSequence)> {
+        let mut plan = Vec::new();
+        self.guided_node(
+            tree,
+            mapping,
+            root,
+            &self.node_workers(tree, mapping, root),
+            available,
+            tvf,
+            &mut plan,
+        );
+        plan
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -282,21 +346,13 @@ impl<'a> DfSearch<'a> {
         node: usize,
         pending: &[WorkerId],
         available: &mut HashSet<TaskId>,
-        tvf: &TaskValueFunction,
-        assignment: &mut Assignment,
+        tvf: &TvfInference,
+        plan: &mut Vec<(WorkerId, TaskSequence)>,
     ) {
         if pending.is_empty() {
             for &child in &tree.nodes[node].children {
                 let child_workers = self.node_workers(tree, mapping, child);
-                self.guided_node(
-                    tree,
-                    mapping,
-                    child,
-                    &child_workers,
-                    available,
-                    tvf,
-                    assignment,
-                );
+                self.guided_node(tree, mapping, child, &child_workers, available, tvf, plan);
             }
             return;
         }
@@ -328,9 +384,9 @@ impl<'a> DfSearch<'a> {
             for t in q.iter() {
                 available.remove(&t);
             }
-            assignment.set(worker, q.clone());
+            plan.push((worker, q.clone()));
         }
-        self.guided_node(tree, mapping, node, rest, available, tvf, assignment);
+        self.guided_node(tree, mapping, node, rest, available, tvf, plan);
     }
 
     // ------------------------------------------------------------------
@@ -385,6 +441,7 @@ mod tests {
     use super::*;
     use crate::reachable::{build_worker_dependency_graph, reachable_tasks};
     use crate::sequences::generate_sequences;
+    use crate::tvf::TaskValueFunction;
     use datawa_core::{Location, Task, Worker};
 
     /// Builds the full search context for a small scenario: two workers close
@@ -555,7 +612,7 @@ mod tests {
             &b.sequences,
             &b.reachable,
         );
-        let tvf = TaskValueFunction::new(8, 0);
+        let tvf = TaskValueFunction::new(8, 0).inference();
         let mut available: HashSet<TaskId> = f.tasks.ids().collect();
         let assignment = search.guided(&b.tree, &b.mapping, &mut available, &tvf);
         // Whatever the untrained TVF picks, the assignment must stay feasible
@@ -585,7 +642,7 @@ mod tests {
         let tuples: Vec<_> = samples.iter().map(|s| (s.state, s.action, s.opt)).collect();
         tvf.train(&tuples, 150, 8, 0.01, 3);
         let mut available: HashSet<TaskId> = f.tasks.ids().collect();
-        let guided = search.guided(&b.tree, &b.mapping, &mut available, &tvf);
+        let guided = search.guided(&b.tree, &b.mapping, &mut available, &tvf.inference());
         assert!(
             guided.assigned_count() + 1 >= exact.assigned_count(),
             "guided search should be within one task of exact on this toy instance (guided={}, exact={})",

@@ -84,6 +84,13 @@ pub fn generate_sequences(
         b.0.len()
             .cmp(&a.0.len())
             .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            // Total order: without the lexicographic tiebreak, sequences tied
+            // on (length, completion) would keep the HashMap's per-instance
+            // random iteration order, and downstream tie-breaking ("first
+            // best wins") would differ between otherwise identical planners —
+            // the partitioned pool pins bitwise-equal plans per thread count,
+            // which needs deterministic candidate order.
+            .then_with(|| a.0.iter().cmp(b.0.iter()))
     });
     SequenceSet {
         sequences: sequences.into_iter().map(|(s, _)| s).collect(),

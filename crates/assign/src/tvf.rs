@@ -108,6 +108,17 @@ impl TaskValueFunction {
             .get(0, 0)
     }
 
+    /// Takes a thread-safe snapshot of the trained weights for use by the
+    /// guided search (see [`TvfInference`]).
+    pub fn inference(&self) -> TvfInference {
+        TvfInference {
+            hidden_w: self.hidden.w.value(),
+            hidden_b: self.hidden.b.value(),
+            output_w: self.output.w.value(),
+            output_b: self.output.b.value(),
+        }
+    }
+
     /// Trainable parameters.
     pub fn parameters(&self) -> Vec<Var> {
         let mut p = self.hidden.parameters();
@@ -157,6 +168,37 @@ impl TaskValueFunction {
             final_loss = epoch_loss / steps as f64;
         }
         final_loss
+    }
+}
+
+/// An immutable, autograd-free snapshot of a trained [`TaskValueFunction`].
+///
+/// The autograd [`Var`] handles inside the TVF are `Rc`-based and therefore
+/// neither `Send` nor `Sync`; the partitioned planner fans the guided search
+/// out across a thread pool, so inference runs on this plain-`Matrix` copy of
+/// the weights instead. The forward pass applies exactly the same `Matrix`
+/// operations in exactly the same order as [`TaskValueFunction::value`], so
+/// the two produce bit-identical values (pinned by a test below) and swapping
+/// one for the other can never change a planning decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TvfInference {
+    hidden_w: Matrix,
+    hidden_b: Matrix,
+    output_w: Matrix,
+    output_b: Matrix,
+}
+
+impl TvfInference {
+    /// Predicted value `TVF(s_t, a_t)` of one state-action pair.
+    pub fn value(&self, state: &StateFeatures, action: &ActionFeatures) -> f64 {
+        let x = feature_vector(state, action);
+        let h = x
+            .matmul(&self.hidden_w)
+            .add_row_broadcast(&self.hidden_b)
+            .map(|v| v.max(0.0));
+        h.matmul(&self.output_w)
+            .add_row_broadcast(&self.output_b)
+            .get(0, 0)
     }
 }
 
@@ -218,6 +260,26 @@ mod tests {
         let tvf = TaskValueFunction::new(8, 0);
         let v = tvf.value(&sample_state(5, 20), &sample_action(2));
         assert!(v.is_finite());
+    }
+
+    #[test]
+    fn inference_snapshot_matches_the_autograd_forward_pass_exactly() {
+        let mut tvf = TaskValueFunction::new(12, 3);
+        // Train a little so the weights are not at their initial values.
+        let samples: Vec<_> = (1..5usize)
+            .map(|len| (sample_state(len, 3 * len), sample_action(len), len as f64))
+            .collect();
+        tvf.train(&samples, 20, 4, 0.01, 3);
+        let frozen = tvf.inference();
+        for w in 0..6usize {
+            for len in 0..4usize {
+                let s = sample_state(w, 2 * w + 1);
+                let a = sample_action(len);
+                // Bit-identical, not just close: the guided search must make
+                // the same decisions whichever representation it consults.
+                assert_eq!(tvf.value(&s, &a), frozen.value(&s, &a));
+            }
+        }
     }
 
     #[test]

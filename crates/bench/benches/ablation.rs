@@ -17,8 +17,8 @@ fn ablation_tvf_vs_exact(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(900));
     let trace = small_trace(0.05);
     let (workers, tasks, now) = snapshot_at_mid(&trace);
-    let exact = Planner::new(AssignConfig::default(), SearchMode::Exact);
-    let guided = Planner::new(AssignConfig::default(), SearchMode::Guided)
+    let mut exact = Planner::new(AssignConfig::default(), SearchMode::Exact);
+    let mut guided = Planner::new(AssignConfig::default(), SearchMode::Guided)
         .with_tvf(TaskValueFunction::new(16, 0));
     group.bench_function("exact_dfsearch", |b| {
         b.iter(|| {
@@ -55,7 +55,7 @@ fn ablation_dependency_separation(c: &mut Criterion) {
             use_dependency_separation: separation,
             ..AssignConfig::default()
         };
-        let planner = Planner::new(config, SearchMode::Exact);
+        let mut planner = Planner::new(config, SearchMode::Exact);
         group.bench_function(name, |b| {
             b.iter(|| {
                 std::hint::black_box(
@@ -106,7 +106,7 @@ fn ablation_sequence_cap(c: &mut Criterion) {
             max_sequence_len: cap,
             ..AssignConfig::default()
         };
-        let planner = Planner::new(config, SearchMode::Exact);
+        let mut planner = Planner::new(config, SearchMode::Exact);
         group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
             b.iter(|| {
                 std::hint::black_box(

@@ -35,7 +35,7 @@ where
     for &value in values {
         let trace = SyntheticTrace::generate(make_spec(value));
         let (workers, tasks, now) = snapshot_at_mid(&trace);
-        for (name, planner) in planners() {
+        for (name, mut planner) in planners() {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{value}")),
                 &value,

@@ -32,6 +32,9 @@ fn main() {
         "Planning calls",
         "CPU time (s)",
         "Engine events",
+        "Partitions (peak)",
+        "Max part. |W|",
+        "Pool occupancy",
     ]);
     for scenario in builtin_scenarios(spec) {
         let workload = scenario.generate();
@@ -47,12 +50,15 @@ fn main() {
                     outcome.run.planning_calls.to_string(),
                     format!("{:.4}", outcome.run.mean_planning_seconds),
                     outcome.stats.events_processed.to_string(),
+                    outcome.stats.peak_partitions.to_string(),
+                    outcome.stats.peak_partition_workers.to_string(),
+                    outcome.stats.peak_pool_occupancy.to_string(),
                 ]);
             }
         }
     }
     println!(
-        "datawa-stream scenario tour — {} workers, {} tasks per scenario (scale {:.3})\n",
+        "datawa-stream scenario tour — {} workers, {} tasks per scenario (scale {:.3}, planner threads: DATAWA_THREADS or AssignConfig::threads)\n",
         spec.workers, spec.tasks, scale.factor
     );
     println!("{}", format_table(&table));

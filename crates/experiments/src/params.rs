@@ -96,7 +96,7 @@ impl ExperimentScale {
 }
 
 /// Builds the pipeline configuration used by the experiment binaries, honouring
-/// four optional environment variables so that quick, scaled-down captures
+/// five optional environment variables so that quick, scaled-down captures
 /// are possible without recompiling:
 ///
 /// * `DATAWA_EPOCHS` — predictor training epochs (default 8);
@@ -104,9 +104,22 @@ impl ExperimentScale {
 ///   setting);
 /// * `DATAWA_REPLAN_DT` — additionally re-plan every Δt simulated seconds via
 ///   the discrete-event engine's replan ticks (default off);
-/// * `DATAWA_GRID` — prediction grid cells per side (default 6).
+/// * `DATAWA_GRID` — prediction grid cells per side (default 6);
+/// * `DATAWA_THREADS` — planner-pool threads for the partitioned search
+///   (default 1). The same knob is available programmatically as
+///   `AssignConfig::threads` (`PipelineConfig::assign.threads`); assignment
+///   results are identical for every thread count by construction, only the
+///   planning wall-clock changes. The CI matrix runs the whole tier-1 suite
+///   at `DATAWA_THREADS=4` to keep the parallel path exercised.
 pub fn pipeline_config_from_env() -> datawa_sim::PipelineConfig {
     let mut config = datawa_sim::PipelineConfig::default();
+    if let Some(threads) = std::env::var("DATAWA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|t| *t >= 1)
+    {
+        config.assign.threads = threads;
+    }
     if let Some(epochs) = std::env::var("DATAWA_EPOCHS")
         .ok()
         .and_then(|v| v.parse().ok())

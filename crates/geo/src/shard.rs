@@ -1,0 +1,191 @@
+//! Spatial sharding of the uniform grid.
+//!
+//! A [`ShardMap`] partitions the grid's cells into contiguous row bands, one
+//! band per shard. The sharded stream engine routes every arrival to the
+//! shard owning its location and keeps one independent runner state per
+//! shard, so the bands double as the unit of multi-core parallelism: two
+//! entities in different shards can never interact (tasks are served by
+//! their own shard's workers only).
+//!
+//! Row bands — rather than, say, space-filling-curve tiles — keep the
+//! boundary geometry trivial: a worker's reachable disc straddles a shard
+//! edge iff its row extent crosses a band edge, which
+//! [`ShardMap::shards_within_radius`] answers with two point lookups.
+
+use crate::grid::{CellId, UniformGrid};
+use datawa_core::Location;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one shard (a contiguous band of grid rows).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// Index form for direct vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// A partition of a [`UniformGrid`] into horizontal row bands.
+///
+/// Every cell belongs to exactly one shard (`shard = row · shards / rows`,
+/// integer division, which is monotone in the row and onto `0..shards` when
+/// `shards ≤ rows`); the requested shard count is clamped to the row count so
+/// no shard is ever empty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardMap {
+    grid: UniformGrid,
+    shards: u32,
+}
+
+impl ShardMap {
+    /// Builds a shard map over `grid` with (up to) `requested` shards.
+    pub fn new(grid: UniformGrid, requested: u32) -> ShardMap {
+        let shards = requested.clamp(1, grid.rows());
+        ShardMap { grid, shards }
+    }
+
+    /// The underlying grid.
+    #[inline]
+    pub fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+
+    /// Number of shards (≥ 1, ≤ grid rows).
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    #[inline]
+    fn shard_of_row(&self, row: u32) -> ShardId {
+        ShardId((row as u64 * self.shards as u64 / self.grid.rows() as u64) as u32)
+    }
+
+    /// The shard owning a grid cell.
+    #[inline]
+    pub fn shard_of_cell(&self, cell: CellId) -> ShardId {
+        let (row, _) = self.grid.row_col(cell);
+        self.shard_of_row(row)
+    }
+
+    /// The shard owning a location (out-of-area points clamp like
+    /// [`UniformGrid::cell_of`]).
+    #[inline]
+    pub fn shard_of(&self, p: &Location) -> ShardId {
+        self.shard_of_cell(self.grid.cell_of(p))
+    }
+
+    /// All shards whose band intersects the disc of `radius` around `p`,
+    /// ascending. Always non-empty; a single element means the disc is
+    /// entirely inside one shard.
+    pub fn shards_within_radius(&self, p: &Location, radius: f64) -> Vec<ShardId> {
+        debug_assert!(radius >= 0.0);
+        let (low_row, _) = self
+            .grid
+            .row_col(self.grid.cell_of(&Location::new(p.x, p.y - radius)));
+        let (high_row, _) = self
+            .grid
+            .row_col(self.grid.cell_of(&Location::new(p.x, p.y + radius)));
+        let first = self.shard_of_row(low_row).0;
+        let last = self.shard_of_row(high_row).0;
+        (first..=last).map(ShardId).collect()
+    }
+
+    /// Whether the disc of `radius` around `p` straddles a shard boundary
+    /// (such a worker is a *boundary worker* and is handed to exactly one
+    /// owning shard at replan time).
+    pub fn is_boundary(&self, p: &Location, radius: f64) -> bool {
+        self.shards_within_radius(p, radius).len() > 1
+    }
+
+    /// All cells of one shard, in row-major order.
+    pub fn cells_of(&self, shard: ShardId) -> Vec<CellId> {
+        self.grid
+            .cells()
+            .filter(|&c| self.shard_of_cell(c) == shard)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+    use datawa_core::location::BoundingBox;
+
+    fn map(rows: u32, cols: u32, shards: u32) -> ShardMap {
+        let area = BoundingBox::new(Location::new(0.0, 0.0), Location::new(10.0, 10.0));
+        ShardMap::new(UniformGrid::new(GridSpec::new(area, rows, cols)), shards)
+    }
+
+    #[test]
+    fn every_cell_belongs_to_exactly_one_shard() {
+        let m = map(7, 5, 3);
+        let mut counts = vec![0usize; m.shard_count()];
+        for cell in m.grid().cells() {
+            let s = m.shard_of_cell(cell);
+            assert!(s.index() < m.shard_count());
+            counts[s.index()] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), m.grid().cell_count());
+        assert!(counts.iter().all(|&c| c > 0), "no shard may be empty");
+        // cells_of() agrees with shard_of_cell().
+        let total: usize = (0..m.shard_count())
+            .map(|s| m.cells_of(ShardId(s as u32)).len())
+            .sum();
+        assert_eq!(total, m.grid().cell_count());
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_rows() {
+        assert_eq!(map(4, 4, 99).shard_count(), 4);
+        assert_eq!(map(4, 4, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn bands_are_monotone_in_y() {
+        let m = map(8, 8, 4);
+        let mut last = 0;
+        for row in 0..8u32 {
+            let y = 0.5 + row as f64 * 10.0 / 8.0;
+            let s = m.shard_of(&Location::new(5.0, y)).0;
+            assert!(s >= last, "bands must not interleave");
+            last = s;
+        }
+        assert_eq!(last as usize + 1, m.shard_count());
+    }
+
+    #[test]
+    fn boundary_detection_uses_the_disc_extent() {
+        let m = map(8, 8, 4);
+        // Deep inside the second band (rows 2–3 cover y ∈ [2.5, 5.0)).
+        let interior = Location::new(5.0, 3.75);
+        assert!(!m.is_boundary(&interior, 0.3));
+        assert_eq!(m.shards_within_radius(&interior, 0.3), vec![ShardId(1)]);
+        // A radius reaching across the band edge at y = 5.0.
+        assert!(m.is_boundary(&interior, 2.0));
+        assert_eq!(
+            m.shards_within_radius(&interior, 2.0),
+            vec![ShardId(0), ShardId(1), ShardId(2)]
+        );
+    }
+
+    #[test]
+    fn out_of_area_points_clamp_to_edge_shards() {
+        let m = map(6, 6, 3);
+        assert_eq!(m.shard_of(&Location::new(-50.0, -50.0)), ShardId(0));
+        assert_eq!(m.shard_of(&Location::new(50.0, 50.0)), ShardId(2));
+    }
+}

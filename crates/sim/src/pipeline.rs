@@ -178,7 +178,7 @@ pub fn run_prediction(
 /// Collects DFSearch training samples at a handful of planning instants spread
 /// over the trace and trains the Task Value Function on them (§IV-B).
 pub fn train_tvf_on_prefix(trace: &SyntheticTrace, config: &PipelineConfig) -> TaskValueFunction {
-    let planner = Planner::new(config.assign, SearchMode::Exact);
+    let mut planner = Planner::new(config.assign, SearchMode::Exact);
     let mut samples = Vec::new();
     let instants = config.tvf_training_instants.max(1);
     for i in 0..instants {

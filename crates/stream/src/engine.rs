@@ -83,6 +83,15 @@ pub struct EngineStats {
     pub replan_ticks: usize,
     /// High-water mark of the pending-event queue.
     pub peak_queue_len: usize,
+    /// Largest number of independent planning partitions (cluster-tree root
+    /// subtrees) any single planning instant split into.
+    pub peak_partitions: usize,
+    /// Workers in the largest partition observed across the run.
+    pub peak_partition_workers: usize,
+    /// Largest number of planner-pool threads any planning instant actually
+    /// occupied (1 unless `AssignConfig::threads`/`DATAWA_THREADS` enables
+    /// the pool and an instant had multiple partitions).
+    pub peak_pool_occupancy: usize,
 }
 
 /// Result of one engine run: the assignment outcome plus engine counters.
@@ -194,7 +203,7 @@ impl StreamEngine {
                     if off.is_finite() {
                         self.queue.push(off, Event::WorkerOffline(wid));
                     }
-                    let replan = self.arrival_triggers_replan(arrivals_seen);
+                    let replan = arrival_triggers_replan(&self.config, arrivals_seen);
                     arrivals_seen += 1;
                     state.step(now, replan);
                 }
@@ -208,7 +217,7 @@ impl StreamEngine {
                     if expiration.is_finite() {
                         self.queue.push(expiration, Event::TaskExpiration(tid));
                     }
-                    let replan = self.arrival_triggers_replan(arrivals_seen);
+                    let replan = arrival_triggers_replan(&self.config, arrivals_seen);
                     arrivals_seen += 1;
                     state.step(now, replan);
                 }
@@ -237,17 +246,23 @@ impl StreamEngine {
         }
 
         self.stats.peak_queue_len = self.queue.peak_len();
+        let run = state.finish();
+        self.stats.peak_partitions = run.peak_partitions;
+        self.stats.peak_partition_workers = run.peak_partition_workers;
+        self.stats.peak_pool_occupancy = run.peak_pool_occupancy;
         EngineOutcome {
-            run: state.finish(),
+            run,
             stats: self.stats,
         }
     }
+}
 
-    #[inline]
-    fn arrival_triggers_replan(&self, arrivals_seen: usize) -> bool {
-        let n = self.config.replan_every_events;
-        n > 0 && arrivals_seen.is_multiple_of(n)
-    }
+/// Whether the `arrivals_seen`-th arrival (0-based) triggers an event-batched
+/// re-plan. Shared with the sharded engine so both count identically.
+#[inline]
+pub(crate) fn arrival_triggers_replan(config: &EngineConfig, arrivals_seen: usize) -> bool {
+    let n = config.replan_every_events;
+    n > 0 && arrivals_seen.is_multiple_of(n)
 }
 
 /// One-shot convenience: build an engine, load `workload`, run `runner`.

@@ -57,12 +57,16 @@
 pub mod engine;
 pub mod event;
 pub mod scenario;
+pub mod shard;
 
 pub use engine::{run_workload, EngineConfig, EngineOutcome, EngineStats, StreamEngine};
 pub use event::{Event, EventQueue, ScheduledEvent};
 pub use scenario::{
     builtin_scenarios, HeavyTailedChurn, HotspotDrift, RushHourBurst, ScenarioGenerator,
     ScenarioSpec, UniformBaseline, Workload,
+};
+pub use shard::{
+    run_workload_sharded, ShardRouting, ShardedEngineConfig, ShardedOutcome, ShardedStreamEngine,
 };
 
 #[cfg(test)]

@@ -1,0 +1,429 @@
+//! The sharded stream engine: one runner state per spatial shard.
+//!
+//! [`ShardedStreamEngine`] layers spatial sharding (a
+//! [`datawa_geo::ShardMap`] of row bands over the study-area grid) on top of
+//! the discrete-event engine: every arrival is routed to the shard owning
+//! its location, each shard drives its own independent
+//! [`datawa_assign::RunnerState`], and replan ticks step all shards — on a
+//! thread pool when `threads > 1`, which is sound because shard states share
+//! nothing mutable (the runner they borrow is `Sync`).
+//!
+//! ## Boundary workers
+//!
+//! A worker whose reachable disc straddles a shard edge could compete for
+//! tasks in several shards; replicating it would double-plan it, dropping it
+//! would waste supply. The engine instead *hands the worker to exactly one
+//! owning shard* at its first replan instant (its arrival): among the shards
+//! its disc touches, the one currently holding the most open tasks wins
+//! (ties to the lowest shard id — deterministic). Every worker therefore
+//! lives in exactly one shard for its whole session, which is the invariant
+//! the sharding property tests pin: hand-off never drops nor double-plans a
+//! worker.
+//!
+//! Sharding is an approximation knob, not a replay-exact mode: a boundary
+//! worker only sees its owning shard's tasks, so assignment totals can
+//! differ from the unsharded engine. With a single shard the router is the
+//! identity and the engine reproduces [`StreamEngine`](crate::StreamEngine)
+//! outcomes exactly (pinned by tests).
+
+use crate::engine::{arrival_triggers_replan, EngineConfig, EngineStats};
+use crate::event::{Event, EventQueue};
+use crate::scenario::Workload;
+use datawa_assign::{pool, AdaptiveRunner, PredictedTaskInput, RunOutcome, RunnerState};
+use datawa_core::{Duration, TaskId, WorkerId};
+use datawa_geo::ShardMap;
+
+/// Configuration of a sharded run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardedEngineConfig {
+    /// The per-shard engine behaviour (replan batching, release-on-offline).
+    pub engine: EngineConfig,
+    /// Threads used to step shards at replan ticks. `0` defers to
+    /// `DATAWA_THREADS` (see [`pool::effective_threads`]).
+    pub threads: usize,
+}
+
+/// Per-shard routing counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardRouting {
+    /// Workers routed to (and planned by) this shard.
+    pub workers: usize,
+    /// Tasks routed to this shard.
+    pub tasks: usize,
+}
+
+/// Result of one sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// Aggregate outcome over all shards. `per_worker` is left empty here —
+    /// worker ids are shard-local dense ids; consult
+    /// [`ShardedOutcome::per_shard`] for per-worker detail.
+    pub run: RunOutcome,
+    /// Each shard's own outcome, by shard index.
+    pub per_shard: Vec<RunOutcome>,
+    /// Aggregate engine counters (plus planning peaks over all shards).
+    pub stats: EngineStats,
+    /// Routing counters, by shard index.
+    pub routing: Vec<ShardRouting>,
+    /// Workers whose reachable disc straddled a shard edge and went through
+    /// the owning-shard hand-off.
+    pub boundary_workers: usize,
+}
+
+/// The spatially sharded discrete-event engine.
+pub struct ShardedStreamEngine {
+    map: ShardMap,
+    config: ShardedEngineConfig,
+    queue: EventQueue,
+    stats: EngineStats,
+}
+
+impl ShardedStreamEngine {
+    /// Creates a sharded engine. Panics on a non-positive `replan_interval`
+    /// for the same reason [`crate::StreamEngine::new`] does.
+    pub fn new(map: ShardMap, config: ShardedEngineConfig) -> ShardedStreamEngine {
+        if let Some(dt) = config.engine.replan_interval {
+            assert!(
+                dt.is_finite() && dt > 0.0,
+                "replan_interval must be a positive finite number of seconds, got {dt}"
+            );
+        }
+        ShardedStreamEngine {
+            map,
+            config,
+            queue: EventQueue::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Schedules a whole workload (workers at online time, tasks at
+    /// publication time).
+    pub fn load(&mut self, workload: &Workload) {
+        for w in &workload.workers {
+            self.queue.push(w.on(), Event::WorkerOnline(*w));
+        }
+        for t in &workload.tasks {
+            self.queue.push(t.publication, Event::TaskArrival(*t));
+        }
+    }
+
+    /// Number of currently pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains the queue, driving one runner state per shard, and returns the
+    /// combined outcome.
+    pub fn run(
+        &mut self,
+        runner: &AdaptiveRunner,
+        predicted: &[PredictedTaskInput],
+    ) -> ShardedOutcome {
+        self.stats = EngineStats::default();
+        self.queue.reset_peak();
+        let shard_count = self.map.shard_count();
+        // Route predicted tasks like real arrivals: each goes only to the
+        // shard owning its expected location, so predicted demand near a
+        // band edge steers exactly one shard's planning (broadcasting it
+        // would double-count future demand across shards).
+        let mut predicted_by_shard: Vec<Vec<PredictedTaskInput>> = vec![Vec::new(); shard_count];
+        for p in predicted {
+            predicted_by_shard[self.map.shard_of(&p.location).index()].push(*p);
+        }
+        let mut states: Vec<RunnerState> = predicted_by_shard
+            .iter()
+            .map(|pred| runner.start(pred))
+            .collect();
+        let mut arrivals_seen = vec![0usize; shard_count];
+        let mut routing = vec![ShardRouting::default(); shard_count];
+        let mut boundary_workers = 0usize;
+        // Global id → (shard, shard-local id), in arrival order. Lifecycle
+        // events carry the global id and are translated on pop.
+        let mut worker_owner: Vec<(usize, WorkerId)> = Vec::new();
+        let mut task_owner: Vec<(usize, TaskId)> = Vec::new();
+        let threads = pool::effective_threads(self.config.threads);
+
+        if let (Some(dt), Some(first)) =
+            (self.config.engine.replan_interval, self.queue.peek_time())
+        {
+            self.queue.push(first + Duration(dt), Event::ReplanTick);
+        }
+
+        while let Some(scheduled) = self.queue.pop() {
+            let now = scheduled.time;
+            self.stats.events_processed += 1;
+            match scheduled.event {
+                Event::WorkerOnline(w) => {
+                    self.stats.arrivals += 1;
+                    let candidates = self
+                        .map
+                        .shards_within_radius(&w.location, w.reachable_distance);
+                    let shard = if candidates.len() <= 1 {
+                        candidates.first().map(|s| s.index()).unwrap_or(0)
+                    } else {
+                        // Boundary hand-off: the owning shard is the one with
+                        // the most open tasks right now (ties to the lowest
+                        // shard id).
+                        boundary_workers += 1;
+                        let mut best = candidates[0].index();
+                        let mut best_open = states[best].open_candidates();
+                        for c in &candidates[1..] {
+                            let open = states[c.index()].open_candidates();
+                            if open > best_open {
+                                best = c.index();
+                                best_open = open;
+                            }
+                        }
+                        best
+                    };
+                    routing[shard].workers += 1;
+                    let state = &mut states[shard];
+                    state.record_event();
+                    let off = w.off();
+                    let local = state.insert_worker(w);
+                    let global = worker_owner.len() as u32;
+                    worker_owner.push((shard, local));
+                    if off.is_finite() {
+                        self.queue.push(off, Event::WorkerOffline(WorkerId(global)));
+                    }
+                    let replan = arrival_triggers_replan(&self.config.engine, arrivals_seen[shard]);
+                    arrivals_seen[shard] += 1;
+                    state.step(now, replan);
+                }
+                Event::TaskArrival(t) => {
+                    self.stats.arrivals += 1;
+                    let shard = self.map.shard_of(&t.location).index();
+                    routing[shard].tasks += 1;
+                    let state = &mut states[shard];
+                    state.record_event();
+                    let expiration = t.expiration;
+                    let local = state.insert_task(t);
+                    let global = task_owner.len() as u32;
+                    task_owner.push((shard, local));
+                    if expiration.is_finite() {
+                        self.queue
+                            .push(expiration, Event::TaskExpiration(TaskId(global)));
+                    }
+                    let replan = arrival_triggers_replan(&self.config.engine, arrivals_seen[shard]);
+                    arrivals_seen[shard] += 1;
+                    state.step(now, replan);
+                }
+                Event::TaskExpiration(global) => {
+                    self.stats.expirations += 1;
+                    let (shard, local) = task_owner[global.index()];
+                    if states[shard].expire_task(local) {
+                        self.stats.expired_open += 1;
+                    }
+                }
+                Event::WorkerOffline(global) => {
+                    self.stats.offline += 1;
+                    let (shard, local) = worker_owner[global.index()];
+                    states[shard].retire_worker(local, self.config.engine.release_on_offline);
+                }
+                Event::ReplanTick => {
+                    self.stats.replan_ticks += 1;
+                    // All shards re-plan at the same instant; their states
+                    // are independent, so fan the steps out to the pool.
+                    pool::scatter_mut(threads, &mut states, |_, state| state.step(now, true));
+                    if let Some(dt) = self.config.engine.replan_interval {
+                        if !self.queue.is_empty() {
+                            self.queue.push(now + Duration(dt), Event::ReplanTick);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.stats.peak_queue_len = self.queue.peak_len();
+        let per_shard: Vec<RunOutcome> = states.into_iter().map(RunnerState::finish).collect();
+        let mut total = RunOutcome::default();
+        for o in &per_shard {
+            total.assigned_tasks += o.assigned_tasks;
+            total.events += o.events;
+            total.planning_calls += o.planning_calls;
+            total.total_planning_seconds += o.total_planning_seconds;
+            total.peak_partitions = total.peak_partitions.max(o.peak_partitions);
+            total.peak_partition_workers =
+                total.peak_partition_workers.max(o.peak_partition_workers);
+            total.peak_pool_occupancy = total.peak_pool_occupancy.max(o.peak_pool_occupancy);
+        }
+        total.mean_planning_seconds = if total.planning_calls == 0 {
+            0.0
+        } else {
+            total.total_planning_seconds / total.planning_calls as f64
+        };
+        self.stats.peak_partitions = total.peak_partitions;
+        self.stats.peak_partition_workers = total.peak_partition_workers;
+        self.stats.peak_pool_occupancy = total.peak_pool_occupancy;
+        ShardedOutcome {
+            run: total,
+            per_shard,
+            stats: self.stats,
+            routing,
+            boundary_workers,
+        }
+    }
+}
+
+/// One-shot convenience: build a sharded engine, load `workload`, run
+/// `runner`.
+pub fn run_workload_sharded(
+    runner: &AdaptiveRunner,
+    workload: &Workload,
+    predicted: &[PredictedTaskInput],
+    map: ShardMap,
+    config: ShardedEngineConfig,
+) -> ShardedOutcome {
+    let mut engine = ShardedStreamEngine::new(map, config);
+    engine.load(workload);
+    engine.run(runner, predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_workload;
+    use crate::scenario::{builtin_scenarios, ScenarioGenerator, ScenarioSpec, UniformBaseline};
+    use datawa_assign::{AssignConfig, PolicyKind};
+    use datawa_core::location::BoundingBox;
+    use datawa_core::Location;
+    use datawa_geo::{GridSpec, UniformGrid};
+
+    fn shard_map(area_km: f64, rows: u32, shards: u32) -> ShardMap {
+        let area = BoundingBox::new(Location::new(0.0, 0.0), Location::new(area_km, area_km));
+        ShardMap::new(UniformGrid::new(GridSpec::new(area, rows, rows)), shards)
+    }
+
+    fn runner(policy: PolicyKind) -> AdaptiveRunner {
+        AdaptiveRunner::new(AssignConfig::default(), policy)
+    }
+
+    #[test]
+    fn single_shard_reproduces_the_unsharded_engine_exactly() {
+        let spec = ScenarioSpec::small().with_tasks(200).with_workers(15);
+        let workload = UniformBaseline::new(spec).generate();
+        for policy in [PolicyKind::Greedy, PolicyKind::Fta, PolicyKind::Dta] {
+            let plain = run_workload(&runner(policy), &workload, &[], EngineConfig::default());
+            let sharded = run_workload_sharded(
+                &runner(policy),
+                &workload,
+                &[],
+                shard_map(spec.area_km, 8, 1),
+                ShardedEngineConfig::default(),
+            );
+            assert_eq!(sharded.per_shard.len(), 1);
+            assert_eq!(
+                sharded.run.assigned_tasks,
+                plain.run.assigned_tasks,
+                "{} diverged with one shard",
+                policy.name()
+            );
+            assert_eq!(sharded.per_shard[0].per_worker, plain.run.per_worker);
+            assert_eq!(sharded.run.planning_calls, plain.run.planning_calls);
+            assert_eq!(sharded.boundary_workers, 0);
+        }
+    }
+
+    #[test]
+    fn single_shard_reproduces_the_unsharded_engine_with_predicted_tasks() {
+        // Predicted demand must be routed, not broadcast: with one shard the
+        // routing is the identity, so the prediction-aware policy must match
+        // the unsharded engine exactly.
+        let spec = ScenarioSpec::small().with_tasks(200).with_workers(15);
+        let workload = UniformBaseline::new(spec).generate();
+        let predicted: Vec<PredictedTaskInput> = workload
+            .tasks
+            .iter()
+            .step_by(7)
+            .map(|t| PredictedTaskInput {
+                location: t.location,
+                publication: t.publication + Duration(120.0),
+                expiration: t.expiration + Duration(120.0),
+            })
+            .collect();
+        assert!(!predicted.is_empty());
+        let plain = run_workload(
+            &runner(PolicyKind::DtaTp),
+            &workload,
+            &predicted,
+            EngineConfig::default(),
+        );
+        let sharded = run_workload_sharded(
+            &runner(PolicyKind::DtaTp),
+            &workload,
+            &predicted,
+            shard_map(spec.area_km, 8, 1),
+            ShardedEngineConfig::default(),
+        );
+        assert_eq!(sharded.run.assigned_tasks, plain.run.assigned_tasks);
+        assert_eq!(sharded.per_shard[0].per_worker, plain.run.per_worker);
+    }
+
+    #[test]
+    fn routing_covers_every_arrival_exactly_once() {
+        let spec = ScenarioSpec::small().with_tasks(300).with_workers(30);
+        for scenario in builtin_scenarios(spec) {
+            let workload = scenario.generate();
+            let outcome = run_workload_sharded(
+                &runner(PolicyKind::Greedy),
+                &workload,
+                &[],
+                shard_map(spec.area_km, 8, 4),
+                ShardedEngineConfig::default(),
+            );
+            let workers: usize = outcome.routing.iter().map(|r| r.workers).sum();
+            let tasks: usize = outcome.routing.iter().map(|r| r.tasks).sum();
+            assert_eq!(workers, workload.workers.len(), "{}", scenario.name());
+            assert_eq!(tasks, workload.tasks.len(), "{}", scenario.name());
+            assert_eq!(outcome.run.events, workload.arrival_count());
+            let per_shard_assigned: usize =
+                outcome.per_shard.iter().map(|o| o.assigned_tasks).sum();
+            assert_eq!(per_shard_assigned, outcome.run.assigned_tasks);
+            assert!(outcome.run.assigned_tasks <= workload.tasks.len());
+        }
+    }
+
+    #[test]
+    fn boundary_workers_are_counted_and_still_serve() {
+        // A 1 km reachable radius on a 10 km area with 4 row bands: plenty of
+        // workers straddle band edges.
+        let spec = ScenarioSpec::small().with_tasks(400).with_workers(40);
+        let workload = UniformBaseline::new(spec).generate();
+        let outcome = run_workload_sharded(
+            &runner(PolicyKind::Dta),
+            &workload,
+            &[],
+            shard_map(spec.area_km, 16, 4),
+            ShardedEngineConfig::default(),
+        );
+        assert!(outcome.boundary_workers > 0, "no boundary worker observed");
+        assert!(outcome.run.assigned_tasks > 0);
+        // Hand-off picked exactly one shard per boundary worker.
+        let routed: usize = outcome.routing.iter().map(|r| r.workers).sum();
+        assert_eq!(routed, workload.workers.len());
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic_for_any_thread_count() {
+        let spec = ScenarioSpec::small().with_tasks(250).with_workers(20);
+        let workload = UniformBaseline::new(spec).generate();
+        let map = || shard_map(spec.area_km, 8, 4);
+        let config = |threads| ShardedEngineConfig {
+            engine: EngineConfig::ticked(60.0),
+            threads,
+        };
+        let one = run_workload_sharded(&runner(PolicyKind::Dta), &workload, &[], map(), config(1));
+        let four = run_workload_sharded(&runner(PolicyKind::Dta), &workload, &[], map(), config(4));
+        assert_eq!(one.run.assigned_tasks, four.run.assigned_tasks);
+        for (a, b) in one.per_shard.iter().zip(&four.per_shard) {
+            assert_eq!(a.per_worker, b.per_worker);
+            assert_eq!(a.assigned_tasks, b.assigned_tasks);
+        }
+        assert_eq!(one.routing, four.routing);
+    }
+}

@@ -48,10 +48,10 @@ pub use datawa_tensor as tensor;
 pub mod prelude {
     pub use datawa_assign::{
         AdaptiveRunner, ArrivalEvent, AssignConfig, Planner, PolicyKind, PredictedTaskInput,
-        RunnerState, SearchMode, TaskValueFunction,
+        RunnerState, SearchMode, TaskValueFunction, TvfInference,
     };
     pub use datawa_core::prelude::*;
-    pub use datawa_geo::{GridSpec, SpatialIndex, UniformGrid};
+    pub use datawa_geo::{GridSpec, ShardId, ShardMap, SpatialIndex, UniformGrid};
     pub use datawa_predict::{
         DdgnnPredictor, DemandPredictor, GraphWaveNetPredictor, LstmPredictor, SeriesDataset,
         SeriesSpec, TrainingConfig,
@@ -61,9 +61,9 @@ pub mod prelude {
         SyntheticTrace, TraceSpec,
     };
     pub use datawa_stream::{
-        builtin_scenarios, run_workload, EngineConfig, EngineOutcome, Event, EventQueue,
-        HeavyTailedChurn, HotspotDrift, RushHourBurst, ScenarioGenerator, ScenarioSpec,
-        StreamEngine, UniformBaseline, Workload,
+        builtin_scenarios, run_workload, run_workload_sharded, EngineConfig, EngineOutcome, Event,
+        EventQueue, HeavyTailedChurn, HotspotDrift, RushHourBurst, ScenarioGenerator, ScenarioSpec,
+        ShardedEngineConfig, ShardedStreamEngine, StreamEngine, UniformBaseline, Workload,
     };
 }
 

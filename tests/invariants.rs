@@ -78,7 +78,7 @@ proptest! {
             ..AssignConfig::default()
         };
         let mode = if exact { SearchMode::Exact } else { SearchMode::Greedy };
-        let planner = Planner::new(config, mode);
+        let mut planner = Planner::new(config, mode);
         let worker_ids: Vec<WorkerId> = worker_store.available_at(now);
         let task_ids: Vec<TaskId> = task_store.open_at(now);
         let (assignment, _) = planner.plan(&worker_ids, &task_ids, &worker_store, &task_store, now);

@@ -70,8 +70,8 @@ fn exact_search_assigns_at_least_as_many_as_greedy_per_snapshot() {
     // Snapshot planning comparison at several instants (the Fig. 7/8 ordering
     // at the planning level, where it holds deterministically).
     let config = AssignConfig::default();
-    let exact = Planner::new(config, SearchMode::Exact);
-    let greedy = Planner::new(config, SearchMode::Greedy);
+    let mut exact = Planner::new(config, SearchMode::Exact);
+    let mut greedy = Planner::new(config, SearchMode::Greedy);
     let mut checked = 0;
     for i in 1..6 {
         let now = Timestamp(trace.spec.horizon * i as f64 / 6.0);

@@ -1,0 +1,123 @@
+//! Property tests for spatial sharding: the shard map must partition the
+//! grid, and the sharded engine's boundary-worker hand-off must neither drop
+//! nor double-plan a worker.
+
+use datawa::geo::{GridSpec, ShardId, ShardMap, UniformGrid};
+use datawa::prelude::*;
+use datawa::stream::{run_workload_sharded, ShardedEngineConfig};
+use proptest::prelude::*;
+
+fn grid(rows: u32, cols: u32) -> UniformGrid {
+    let area = BoundingBox::new(Location::new(0.0, 0.0), Location::new(10.0, 10.0));
+    UniformGrid::new(GridSpec::new(area, rows, cols))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every grid cell belongs to exactly one shard, every shard id is in
+    /// range, no shard is empty, and the per-shard cell lists reassemble the
+    /// whole grid.
+    #[test]
+    fn shard_map_partitions_the_grid(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        requested in 0usize..32,
+    ) {
+        let map = ShardMap::new(grid(rows as u32, cols as u32), requested as u32);
+        prop_assert!(map.shard_count() >= 1);
+        prop_assert!(map.shard_count() <= rows);
+        let mut counts = vec![0usize; map.shard_count()];
+        for cell in map.grid().cells() {
+            let s = map.shard_of_cell(cell);
+            prop_assert!(s.index() < map.shard_count());
+            counts[s.index()] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), map.grid().cell_count());
+        for (s, &count) in counts.iter().enumerate() {
+            prop_assert!(count > 0, "shard {} is empty", s);
+            prop_assert_eq!(map.cells_of(ShardId(s as u32)).len(), count);
+        }
+    }
+
+    /// The disc query always contains the point's own shard and is
+    /// consistent with the boundary predicate.
+    #[test]
+    fn disc_queries_contain_the_owner_shard(
+        x in -2.0f64..12.0,
+        y in -2.0f64..12.0,
+        radius in 0.0f64..6.0,
+        shards in 1usize..9,
+    ) {
+        let map = ShardMap::new(grid(12, 12), shards as u32);
+        let p = Location::new(x, y);
+        let touched = map.shards_within_radius(&p, radius);
+        prop_assert!(!touched.is_empty());
+        prop_assert!(touched.contains(&map.shard_of(&p)));
+        prop_assert_eq!(map.is_boundary(&p, radius), touched.len() > 1);
+        // Ascending and within range.
+        for w in touched.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(touched.last().unwrap().index() < map.shard_count());
+    }
+
+    /// Boundary-worker hand-off never drops or double-plans a worker: the
+    /// per-shard routing counters always sum to the workload exactly, for
+    /// arbitrary workloads and shard counts, and each shard's outcome is
+    /// consistent with the aggregate.
+    #[test]
+    fn hand_off_routes_every_worker_to_exactly_one_shard(
+        worker_specs in prop::collection::vec(
+            (0.0f64..10.0, 0.0f64..10.0, 0.2f64..3.0, 0.0f64..50.0, 60.0f64..400.0),
+            1..14,
+        ),
+        task_specs in prop::collection::vec(
+            (0.0f64..10.0, 0.0f64..10.0, 0.0f64..120.0, 20.0f64..200.0),
+            1..30,
+        ),
+        shards in 1usize..6,
+    ) {
+        let workers: Vec<Worker> = worker_specs
+            .into_iter()
+            .map(|(x, y, d, on, len)| {
+                Worker::new(WorkerId(0), Location::new(x, y), d, Timestamp(on), Timestamp(on + len))
+            })
+            .collect();
+        let tasks: Vec<Task> = task_specs
+            .into_iter()
+            .map(|(x, y, p, v)| {
+                Task::new(TaskId(0), Location::new(x, y), Timestamp(p), Timestamp(p + v))
+            })
+            .collect();
+        let workload = Workload { workers, tasks };
+        let map = ShardMap::new(grid(12, 12), shards as u32);
+        let config = AssignConfig {
+            travel: TravelModel::euclidean(0.05),
+            ..AssignConfig::default()
+        };
+        let runner = AdaptiveRunner::new(config, PolicyKind::Dta);
+        let outcome = run_workload_sharded(
+            &runner,
+            &workload,
+            &[],
+            map,
+            ShardedEngineConfig::default(),
+        );
+        let routed_workers: usize = outcome.routing.iter().map(|r| r.workers).sum();
+        let routed_tasks: usize = outcome.routing.iter().map(|r| r.tasks).sum();
+        prop_assert_eq!(routed_workers, workload.workers.len());
+        prop_assert_eq!(routed_tasks, workload.tasks.len());
+        prop_assert!(outcome.boundary_workers <= workload.workers.len());
+        prop_assert_eq!(outcome.run.events, workload.arrival_count());
+        let per_shard: usize = outcome.per_shard.iter().map(|o| o.assigned_tasks).sum();
+        prop_assert_eq!(per_shard, outcome.run.assigned_tasks);
+        prop_assert!(outcome.run.assigned_tasks <= workload.tasks.len());
+        // Per-shard per-worker counts also reconcile with each shard's total
+        // (no worker is dispatched by two shards).
+        for shard in &outcome.per_shard {
+            let sum: usize = shard.per_worker.values().sum();
+            prop_assert_eq!(sum, shard.assigned_tasks);
+        }
+    }
+}
