@@ -102,6 +102,23 @@ pub struct PredictedTaskInput {
     pub expiration: Timestamp,
 }
 
+/// One dispatch performed by [`RunnerState::step`]: a worker departing for a
+/// task at a time instance. The state machine appends every dispatch to an
+/// internal log that drivers drain through [`RunnerState::take_dispatches`] —
+/// this is what lets the `datawa-stream` session API emit assignment
+/// decisions incrementally instead of only reporting end-of-run totals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchRecord {
+    /// The dispatched worker.
+    pub worker: WorkerId,
+    /// The real task it departs for.
+    pub task: TaskId,
+    /// The time instance at which the dispatch was decided.
+    pub decided_at: Timestamp,
+    /// When the worker reaches the task (its busy-until horizon).
+    pub eta: Timestamp,
+}
+
 /// Aggregate outcome of one streaming run.
 #[derive(Debug, Clone, Default)]
 pub struct RunOutcome {
@@ -217,6 +234,7 @@ impl AdaptiveRunner {
             runtime: Vec::new(),
             served: HashSet::new(),
             reserved_by_fta: HashSet::new(),
+            dispatch_log: Vec::new(),
             outcome: RunOutcome::default(),
         }
     }
@@ -303,6 +321,7 @@ pub struct RunnerState<'a> {
     runtime: Vec<WorkerRuntime>,
     served: HashSet<TaskId>,
     reserved_by_fta: HashSet<TaskId>,
+    dispatch_log: Vec<DispatchRecord>,
     outcome: RunOutcome,
 }
 
@@ -327,6 +346,23 @@ impl RunnerState<'_> {
     #[inline]
     pub fn available_candidates(&self) -> usize {
         self.available_view.len()
+    }
+
+    /// Total real tasks dispatched so far (the running value of
+    /// [`RunOutcome::assigned_tasks`]).
+    #[inline]
+    pub fn assigned_so_far(&self) -> usize {
+        self.outcome.assigned_tasks
+    }
+
+    /// Drains the dispatches performed since the previous call (or since the
+    /// run started), in decision order. Drivers that surface incremental
+    /// decisions (the `datawa-stream` session) call this after every
+    /// [`RunnerState::step`]; drivers that only need totals may ignore the
+    /// log entirely — it is dropped at [`RunnerState::finish`].
+    #[inline]
+    pub fn take_dispatches(&mut self) -> Vec<DispatchRecord> {
+        std::mem::take(&mut self.dispatch_log)
     }
 
     /// Inserts an arriving worker and returns its dense id.
@@ -530,6 +566,12 @@ impl RunnerState<'_> {
                     *self.outcome.per_worker.entry(wid).or_insert(0) += 1;
                     self.runtime[wid.index()].busy_until = arrival;
                     self.workers.get_mut(wid).location = task.location;
+                    self.dispatch_log.push(DispatchRecord {
+                        worker: wid,
+                        task: tid,
+                        decided_at: now,
+                        eta: arrival,
+                    });
                 } else if policy != PolicyKind::Fta {
                     // An adaptive plan whose head became unreachable is stale;
                     // drop the head so the next planning instant can replace

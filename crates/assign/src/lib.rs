@@ -22,7 +22,8 @@ pub mod sequences;
 pub mod tvf;
 
 pub use adaptive::{
-    AdaptiveRunner, ArrivalEvent, PolicyKind, PredictedTaskInput, RunOutcome, RunnerState,
+    AdaptiveRunner, ArrivalEvent, DispatchRecord, PolicyKind, PredictedTaskInput, RunOutcome,
+    RunnerState,
 };
 pub use config::AssignConfig;
 pub use partition::{split_cluster_tree, Partition};

@@ -10,7 +10,9 @@
 
 use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind};
 use datawa_experiments::{format_table, ExperimentScale, Table};
-use datawa_stream::{builtin_scenarios, run_workload, EngineConfig, ScenarioSpec};
+use datawa_stream::{
+    builtin_scenarios, CollectingSink, Decision, EngineConfig, ScenarioSpec, Session,
+};
 
 fn main() {
     let scale = ExperimentScale::from_env();
@@ -32,6 +34,7 @@ fn main() {
         "Planning calls",
         "CPU time (s)",
         "Engine events",
+        "Expired unserved",
         "Partitions (peak)",
         "Max part. |W|",
         "Pool occupancy",
@@ -41,7 +44,21 @@ fn main() {
         for (label, engine_config) in configs {
             for policy in [PolicyKind::Greedy, PolicyKind::Fta, PolicyKind::Dta] {
                 let runner = AdaptiveRunner::new(AssignConfig::default(), policy);
-                let outcome = run_workload(&runner, &workload, &[], engine_config);
+                // Session API: open, ingest the workload, drain — with the
+                // incremental decisions collected so unserved losses are
+                // reportable alongside the totals.
+                let mut sink = CollectingSink::new();
+                let mut session = Session::open(&runner, &[], engine_config);
+                session
+                    .ingest_workload(&workload)
+                    .expect("scenario workloads carry finite times");
+                let outcome = session.close(&mut sink);
+                let expired_unserved = sink
+                    .decisions()
+                    .iter()
+                    .filter(|d| matches!(d, Decision::TaskExpired { .. }))
+                    .count();
+                assert_eq!(expired_unserved, outcome.stats.expired_open);
                 table.push_row(vec![
                     scenario.name().to_string(),
                     label.to_string(),
@@ -50,6 +67,7 @@ fn main() {
                     outcome.run.planning_calls.to_string(),
                     format!("{:.4}", outcome.run.mean_planning_seconds),
                     outcome.stats.events_processed.to_string(),
+                    expired_unserved.to_string(),
                     outcome.stats.peak_partitions.to_string(),
                     outcome.stats.peak_partition_workers.to_string(),
                     outcome.stats.peak_pool_occupancy.to_string(),

@@ -1,0 +1,336 @@
+//! The dispatch service: a long-running pump from an ingest source through an
+//! open session into a decision sink.
+//!
+//! [`DispatchService`] is the service front-end the ROADMAP's "async service
+//! front-end" item asks for, built synchronously and deterministically: a
+//! bounded ingest queue between the source and the session provides
+//! backpressure (planning can lag bursts only so far before admission
+//! pauses to let the session drain), pacing comes from the source, and the
+//! caller can pump one step at a time ([`DispatchService::pump`]) with
+//! mid-stream [`DispatchService::stats`] / [`DispatchService::snapshot`]
+//! inspection, or run to completion ([`DispatchService::run`]).
+
+use crate::source::{IngestSource, SourcePoll};
+use datawa_assign::{AdaptiveRunner, PredictedTaskInput};
+use datawa_core::Timestamp;
+use datawa_stream::{DecisionSink, EngineConfig, EngineOutcome, Session, SessionSnapshot};
+
+/// Service knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// The session's engine behaviour (replan batching, release-on-offline).
+    pub engine: EngineConfig,
+    /// Backpressure bound on the admission backlog: once this many arrivals
+    /// have been admitted since the session last advanced, admission pauses
+    /// and the service advances the session to the newest admitted arrival
+    /// before ingesting more. (The session queue itself also holds the
+    /// not-yet-due lifecycle events of everything currently alive — those
+    /// are future work, not backlog, and do not count against the bound.)
+    pub max_pending: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            max_pending: 256,
+        }
+    }
+}
+
+/// Counters describing a service run so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Arrivals admitted into the session.
+    pub ingested: usize,
+    /// Quiet-period waits observed from the source.
+    pub waits: usize,
+    /// Times the backpressure bound paused admission and forced a drain.
+    pub backpressure_flushes: usize,
+    /// High-water mark of the session's pending-event queue at admission
+    /// time.
+    pub peak_pending: usize,
+    /// Whether the source has been fully consumed.
+    pub source_exhausted: bool,
+}
+
+/// Outcome of one [`DispatchService::pump`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpStatus {
+    /// An arrival was admitted (and, under backpressure, the session may
+    /// have been advanced first).
+    Admitted,
+    /// The source reported a quiet period; the session advanced through it.
+    Waited,
+    /// The source is exhausted; nothing was admitted. The next step is
+    /// [`DispatchService::finish`].
+    SourceDrained,
+}
+
+/// A live dispatch loop: source → session → sink.
+///
+/// The service owns the session and the sink; the source paces it, the
+/// backpressure bound keeps the unprocessed admission backlog from growing
+/// without limit when planning is slower than admission.
+pub struct DispatchService<'a, Src, Sink> {
+    source: Src,
+    sink: Sink,
+    session: Session<'a>,
+    config: ServiceConfig,
+    stats: ServiceStats,
+    /// Newest admitted arrival time: the watermark a backpressure flush
+    /// advances to.
+    admitted_up_to: Timestamp,
+    /// Arrivals admitted since the session last advanced (the backlog the
+    /// backpressure bound applies to).
+    unadvanced: usize,
+}
+
+impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
+    /// Opens a service over `runner`: a fresh session, an unread source.
+    #[must_use]
+    pub fn open(
+        runner: &'a AdaptiveRunner,
+        predicted: &'a [PredictedTaskInput],
+        source: Src,
+        sink: Sink,
+        config: ServiceConfig,
+    ) -> DispatchService<'a, Src, Sink> {
+        DispatchService {
+            source,
+            sink,
+            session: Session::open(runner, predicted, config.engine),
+            config,
+            stats: ServiceStats::default(),
+            admitted_up_to: Timestamp(f64::NEG_INFINITY),
+            unadvanced: 0,
+        }
+    }
+
+    /// Service counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Mid-stream view of the session's live state.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        self.session.snapshot()
+    }
+
+    /// The decision sink (for example to read a collecting sink's tally
+    /// mid-stream).
+    pub fn sink(&self) -> &Sink {
+        &self.sink
+    }
+
+    /// One pump step: poll the source once and react.
+    pub fn pump(&mut self) -> PumpStatus {
+        match self.source.poll() {
+            SourcePoll::Ready(time, event) => {
+                // Backpressure: drain decisions for the admitted backlog
+                // before taking more traffic. Never advance when the backlog
+                // head shares the incoming arrival's timestamp — advancing
+                // *to* an instant before all of its arrivals are ingested
+                // would fire a replan tick due there ahead of them.
+                if self.unadvanced >= self.config.max_pending && self.admitted_up_to.0 < time.0 {
+                    self.stats.backpressure_flushes += 1;
+                    self.session.advance_to(self.admitted_up_to, &mut self.sink);
+                    self.unadvanced = 0;
+                }
+                self.session
+                    .ingest(time, event)
+                    .expect("sources produce finite, non-decreasing times");
+                self.stats.ingested += 1;
+                self.unadvanced += 1;
+                self.stats.peak_pending = self.stats.peak_pending.max(self.session.pending());
+                if time.0 > self.admitted_up_to.0 {
+                    self.admitted_up_to = time;
+                }
+                PumpStatus::Admitted
+            }
+            SourcePoll::Wait(until) => {
+                self.stats.waits += 1;
+                self.session.advance_to(until, &mut self.sink);
+                self.unadvanced = 0;
+                PumpStatus::Waited
+            }
+            SourcePoll::Exhausted => {
+                self.stats.source_exhausted = true;
+                PumpStatus::SourceDrained
+            }
+        }
+    }
+
+    /// Pumps until the source is exhausted, then closes the session. Returns
+    /// the engine outcome, the service counters and the sink.
+    pub fn run(mut self) -> (EngineOutcome, ServiceStats, Sink) {
+        while self.pump() != PumpStatus::SourceDrained {}
+        self.finish()
+    }
+
+    /// Closes the session (draining every remaining event into the sink) and
+    /// returns the outcome, the counters and the sink.
+    pub fn finish(mut self) -> (EngineOutcome, ServiceStats, Sink) {
+        self.stats.source_exhausted = self.source.remaining() == 0;
+        let outcome = self.session.close(&mut self.sink);
+        (outcome, self.stats, self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{LiveSource, WorkloadSource};
+    use datawa_assign::{AssignConfig, PolicyKind};
+    use datawa_stream::{
+        run_workload, CollectingSink, ScenarioGenerator, ScenarioSpec, UniformBaseline,
+    };
+
+    fn runner(policy: PolicyKind) -> AdaptiveRunner {
+        AdaptiveRunner::new(AssignConfig::default(), policy)
+    }
+
+    #[test]
+    fn replay_service_matches_the_batch_driver_exactly() {
+        let workload =
+            UniformBaseline::new(ScenarioSpec::small().with_tasks(200).with_workers(15)).generate();
+        for policy in [PolicyKind::Greedy, PolicyKind::Fta, PolicyKind::Dta] {
+            let r = runner(policy);
+            let batch = run_workload(&r, &workload, &[], EngineConfig::default());
+            let service = DispatchService::open(
+                &r,
+                &[],
+                WorkloadSource::new(&workload),
+                CollectingSink::new(),
+                ServiceConfig::default(),
+            );
+            let (outcome, stats, sink) = service.run();
+            assert_eq!(outcome.run.assigned_tasks, batch.run.assigned_tasks);
+            assert_eq!(outcome.run.per_worker, batch.run.per_worker);
+            assert_eq!(outcome.run.planning_calls, batch.run.planning_calls);
+            assert_eq!(stats.ingested, workload.arrival_count());
+            assert_eq!(sink.dispatches(), batch.run.assigned_tasks);
+        }
+    }
+
+    #[test]
+    fn backpressure_bounds_the_session_queue() {
+        let workload =
+            UniformBaseline::new(ScenarioSpec::small().with_tasks(300).with_workers(20)).generate();
+        let r = runner(PolicyKind::Greedy);
+        let tight = ServiceConfig {
+            max_pending: 8,
+            ..ServiceConfig::default()
+        };
+        let service = DispatchService::open(
+            &r,
+            &[],
+            WorkloadSource::new(&workload),
+            CollectingSink::new(),
+            tight,
+        );
+        let (outcome, stats, _) = service.run();
+        assert!(stats.backpressure_flushes > 0, "bound never engaged");
+        // Pending can exceed the bound only by the lifecycle events of the
+        // burst admitted since the last flush, never unboundedly.
+        assert!(stats.peak_pending < workload.arrival_count());
+        assert!(outcome.run.assigned_tasks > 0);
+        // Backpressure changes *when* decisions surface, not what is
+        // decided: totals still match the unbounded batch run.
+        let batch = run_workload(&r, &workload, &[], EngineConfig::default());
+        assert_eq!(outcome.run.assigned_tasks, batch.run.assigned_tasks);
+    }
+
+    #[test]
+    fn paced_service_matches_batch_when_an_arrival_lands_on_a_tick_instant() {
+        // Regression: under time-driven planning, a task published at
+        // exactly a tick instant (t=20 with ticks every 10 s) must still be
+        // seen by that tick. The paced source must therefore never make the
+        // service advance *to* t=20 before the arrival is ingested — the
+        // batch driver fires same-instant ticks last and assigns the task;
+        // a Wait clamped to the arrival's timestamp used to lose it.
+        use datawa_core::{Location, Task, TaskId, Timestamp, Worker, WorkerId};
+        let workload = datawa_stream::Workload {
+            workers: vec![Worker::new(
+                WorkerId(0),
+                Location::new(0.0, 0.0),
+                5.0,
+                Timestamp(0.0),
+                Timestamp(100.0),
+            )],
+            tasks: vec![Task::new(
+                TaskId(0),
+                Location::new(1.0, 0.0),
+                Timestamp(20.0),
+                Timestamp(25.0),
+            )],
+        };
+        let r = AdaptiveRunner::new(AssignConfig::unit_speed(), PolicyKind::Dta);
+        let config = EngineConfig::ticked(10.0);
+        let batch = run_workload(&r, &workload, &[], config);
+        assert_eq!(batch.run.assigned_tasks, 1, "the t=20 tick plans the task");
+        // A 4 s pacing step lands the clock exactly on t=20.
+        let service = DispatchService::open(
+            &r,
+            &[],
+            LiveSource::new(&workload, 4.0),
+            CollectingSink::new(),
+            ServiceConfig {
+                engine: config,
+                ..ServiceConfig::default()
+            },
+        );
+        let (outcome, _, sink) = service.run();
+        assert_eq!(outcome.run.assigned_tasks, batch.run.assigned_tasks);
+        assert_eq!(sink.dispatches(), 1);
+    }
+
+    #[test]
+    fn paced_live_source_serves_and_reports_waits() {
+        let workload =
+            UniformBaseline::new(ScenarioSpec::small().with_tasks(150).with_workers(12)).generate();
+        let r = runner(PolicyKind::Dta);
+        let service = DispatchService::open(
+            &r,
+            &[],
+            LiveSource::new(&workload, 30.0),
+            CollectingSink::new(),
+            ServiceConfig::default(),
+        );
+        let (outcome, stats, sink) = service.run();
+        assert!(stats.waits > 0, "pacing produced no quiet periods");
+        assert!(stats.source_exhausted);
+        assert!(outcome.run.assigned_tasks > 0);
+        assert_eq!(sink.dispatches(), outcome.run.assigned_tasks);
+        // Decisions arrive in non-decreasing time order.
+        for pair in sink.decisions().windows(2) {
+            assert!(pair[0].at().0 <= pair[1].at().0);
+        }
+    }
+
+    #[test]
+    fn mid_stream_inspection_sees_progress() {
+        let workload =
+            UniformBaseline::new(ScenarioSpec::small().with_tasks(120).with_workers(10)).generate();
+        let r = runner(PolicyKind::Greedy);
+        let mut service = DispatchService::open(
+            &r,
+            &[],
+            LiveSource::new(&workload, 60.0),
+            CollectingSink::new(),
+            ServiceConfig::default(),
+        );
+        let mut inspected = 0;
+        while service.pump() != PumpStatus::SourceDrained {
+            let snap = service.snapshot();
+            assert!(snap.assigned_tasks <= service.stats().ingested);
+            inspected += 1;
+        }
+        assert!(inspected > 0);
+        let before_close = service.sink().dispatches();
+        let (outcome, _, sink) = service.finish();
+        assert!(before_close > 0, "decisions surfaced before close");
+        assert!(sink.dispatches() >= before_close);
+        assert_eq!(sink.dispatches(), outcome.run.assigned_tasks);
+    }
+}

@@ -1,0 +1,256 @@
+//! Ingest sources: where a dispatch service's arrivals come from.
+//!
+//! An [`IngestSource`] produces `(time, event)` pairs in non-decreasing
+//! timestamp order. [`WorkloadSource`] replays a pre-built
+//! [`Workload`](datawa_stream::Workload) as fast as the service will take it;
+//! [`LiveSource`] paces the same arrivals against a simulated wall clock, so
+//! the session experiences quiet periods (in which expirations and time-driven
+//! re-plans fire) between bursts — the shape of real request traffic.
+
+use datawa_core::{Duration, Timestamp};
+use datawa_stream::{Event, Workload};
+
+/// One poll of an ingest source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourcePoll {
+    /// An arrival is due now: ingest it.
+    Ready(Timestamp, Event),
+    /// No arrival is due yet; simulated time has advanced to the carried
+    /// instant, and the service should advance its session there.
+    Wait(Timestamp),
+    /// The source has no further arrivals.
+    Exhausted,
+}
+
+/// A producer of arrivals in non-decreasing timestamp order.
+pub trait IngestSource {
+    /// Polls for the next arrival.
+    fn poll(&mut self) -> SourcePoll;
+
+    /// Arrivals not yet handed out.
+    fn remaining(&self) -> usize;
+}
+
+/// Replays a workload's arrivals in the engine's deterministic order:
+/// ascending time, workers before tasks at equal times, original order within
+/// each kind — exactly the order the batch driver's queue would pop them, so
+/// a service fed by this source reproduces batch outcomes bit for bit.
+#[derive(Debug, Clone)]
+pub struct WorkloadSource {
+    arrivals: Vec<(Timestamp, Event)>,
+    cursor: usize,
+}
+
+impl WorkloadSource {
+    /// Builds a replay source over `workload`.
+    #[must_use]
+    pub fn new(workload: &Workload) -> WorkloadSource {
+        let mut arrivals: Vec<(Timestamp, Event)> = workload
+            .workers
+            .iter()
+            .map(|w| (w.on(), Event::WorkerOnline(*w)))
+            .chain(
+                workload
+                    .tasks
+                    .iter()
+                    .map(|t| (t.publication, Event::TaskArrival(*t))),
+            )
+            .collect();
+        // Stable sort on (time, class): FIFO within each (time, class)
+        // bucket matches the queue's insertion-order tie-break.
+        arrivals
+            .sort_by(|(ta, ea), (tb, eb)| ta.0.total_cmp(&tb.0).then(ea.class().cmp(&eb.class())));
+        WorkloadSource {
+            arrivals,
+            cursor: 0,
+        }
+    }
+
+    /// The next due arrival, without consuming it.
+    pub fn peek(&self) -> Option<&(Timestamp, Event)> {
+        self.arrivals.get(self.cursor)
+    }
+}
+
+impl IngestSource for WorkloadSource {
+    fn poll(&mut self) -> SourcePoll {
+        match self.arrivals.get(self.cursor) {
+            Some((t, e)) => {
+                let poll = SourcePoll::Ready(*t, e.clone());
+                self.cursor += 1;
+                poll
+            }
+            None => SourcePoll::Exhausted,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.arrivals.len() - self.cursor
+    }
+}
+
+/// A paced source: arrivals are released only once a simulated clock reaches
+/// their timestamp; while the head arrival is still in the future, each poll
+/// advances the clock by at most one pacing step and reports
+/// [`SourcePoll::Wait`] so the service can advance its session through the
+/// quiet period.
+///
+/// A `Wait` is always *strictly before* the next arrival's timestamp: the
+/// step that would land on (or past) the head arrival releases the arrival
+/// instead. This matters for correctness, not just pacing — if the service
+/// advanced its session *to* an arrival's instant before ingesting it, a
+/// replan tick due at that exact instant would fire ahead of the arrival,
+/// inverting the engine's tick-last same-instant ordering (and losing
+/// assignments the batch driver makes).
+///
+/// The clock is simulated (no real sleeping), so paced runs stay
+/// deterministic and as fast as the hardware allows — the pacing step only
+/// controls how finely quiet periods are sliced.
+#[derive(Debug, Clone)]
+pub struct LiveSource {
+    inner: WorkloadSource,
+    clock: Timestamp,
+    step: Duration,
+}
+
+impl LiveSource {
+    /// Paces `workload` with the given pacing step (simulated seconds per
+    /// quiet-period poll). The clock starts at the first arrival, so a
+    /// non-empty workload is never preceded by dead waiting.
+    ///
+    /// Panics on a non-positive or non-finite step: the clock must advance.
+    #[must_use]
+    pub fn new(workload: &Workload, step: f64) -> LiveSource {
+        assert!(
+            step.is_finite() && step > 0.0,
+            "pacing step must be a positive finite number of seconds, got {step}"
+        );
+        let inner = WorkloadSource::new(workload);
+        let clock = inner.peek().map(|(t, _)| *t).unwrap_or(Timestamp(0.0));
+        LiveSource {
+            inner,
+            clock,
+            step: Duration(step),
+        }
+    }
+
+    /// The current simulated wall-clock time.
+    pub fn now(&self) -> Timestamp {
+        self.clock
+    }
+}
+
+impl IngestSource for LiveSource {
+    fn poll(&mut self) -> SourcePoll {
+        match self.inner.peek() {
+            None => SourcePoll::Exhausted,
+            Some((t, _)) if t.0 <= self.clock.0 => self.inner.poll(),
+            Some((t, _)) => {
+                // Head arrival is in the future: advance the simulated clock
+                // one pacing step toward it. A step that reaches the arrival
+                // releases it in the same poll, so every reported Wait stays
+                // strictly before the next arrival's timestamp.
+                let stepped = self.clock.0 + self.step.0;
+                if stepped >= t.0 {
+                    self.clock = Timestamp(t.0);
+                    self.inner.poll()
+                } else {
+                    self.clock = Timestamp(stepped);
+                    SourcePoll::Wait(self.clock)
+                }
+            }
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.inner.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datawa_core::{Location, Task, TaskId, Worker, WorkerId};
+
+    fn workload() -> Workload {
+        let worker = |on: f64| {
+            Worker::new(
+                WorkerId(0),
+                Location::new(0.0, 0.0),
+                1.0,
+                Timestamp(on),
+                Timestamp(on + 100.0),
+            )
+        };
+        let task = |p: f64| {
+            Task::new(
+                TaskId(0),
+                Location::new(1.0, 0.0),
+                Timestamp(p),
+                Timestamp(p + 50.0),
+            )
+        };
+        Workload {
+            workers: vec![worker(5.0), worker(0.0)],
+            tasks: vec![task(5.0), task(2.0)],
+        }
+    }
+
+    #[test]
+    fn workload_source_orders_like_the_engine_queue() {
+        let mut source = WorkloadSource::new(&workload());
+        assert_eq!(source.remaining(), 4);
+        let mut order = Vec::new();
+        while let SourcePoll::Ready(t, e) = source.poll() {
+            order.push((t.0, e.kind()));
+        }
+        assert_eq!(
+            order,
+            vec![
+                (0.0, "WorkerOnline"),
+                (2.0, "TaskArrival"),
+                (5.0, "WorkerOnline"), // workers before tasks at equal times
+                (5.0, "TaskArrival"),
+            ]
+        );
+        assert_eq!(source.remaining(), 0);
+        assert_eq!(source.poll(), SourcePoll::Exhausted);
+    }
+
+    #[test]
+    fn live_source_paces_against_the_simulated_clock() {
+        let mut source = LiveSource::new(&workload(), 1.0);
+        assert_eq!(
+            source.now(),
+            Timestamp(0.0),
+            "clock starts at first arrival"
+        );
+        // The first arrival is due immediately; the step that reaches the
+        // next arrival's timestamp releases it instead of waiting at it.
+        assert!(matches!(source.poll(), SourcePoll::Ready(t, _) if t.0 == 0.0));
+        assert_eq!(source.poll(), SourcePoll::Wait(Timestamp(1.0)));
+        assert!(matches!(source.poll(), SourcePoll::Ready(t, _) if t.0 == 2.0));
+        // Every Wait stays strictly before the head arrival at t=5.
+        let mut waits = 0;
+        loop {
+            match source.poll() {
+                SourcePoll::Wait(t) => {
+                    waits += 1;
+                    assert!(t.0 < 5.0);
+                }
+                SourcePoll::Ready(t, _) => {
+                    assert_eq!(t.0, 5.0);
+                    break;
+                }
+                SourcePoll::Exhausted => panic!("source drained early"),
+            }
+        }
+        assert_eq!(waits, 2, "3.0 and 4.0; the step to 5.0 releases instead");
+    }
+
+    #[test]
+    #[should_panic(expected = "pacing step")]
+    fn zero_pacing_step_is_rejected() {
+        let _ = LiveSource::new(&workload(), 0.0);
+    }
+}

@@ -18,7 +18,7 @@ use datawa_geo::{GridSpec, UniformGrid};
 use datawa_predict::{
     predicted_tasks_from, DemandPredictor, SeriesDataset, SeriesSpec, TrainingConfig,
 };
-use datawa_stream::EngineConfig;
+use datawa_stream::{EngineConfig, NullSink, Session};
 use serde::Serialize;
 
 /// Configuration of the full pipeline.
@@ -227,10 +227,10 @@ fn summarize(policy: PolicyKind, outcome: &datawa_assign::RunOutcome) -> PolicyR
     }
 }
 
-/// Runs one assignment policy over the trace's arrival stream on the
-/// `datawa-stream` discrete-event engine (replay-compatible configuration, so
-/// the reported numbers match the legacy synchronous driver at the same
-/// `replan_every`).
+/// Runs one assignment policy over the trace's arrival stream through the
+/// `datawa-stream` session API (replay-compatible configuration, so the
+/// reported numbers match the retired synchronous driver at the same
+/// `replan_every`): open a session, ingest the whole replay workload, drain.
 ///
 /// `predicted` is only consulted by the prediction-aware policies; `tvf` is
 /// required by DATA-WA (trained on the fly via [`train_tvf_on_prefix`] when
@@ -247,13 +247,26 @@ pub fn run_policy(
         replan_interval: config.replan_interval,
         ..EngineConfig::replay_compat(config.replan_every)
     };
-    let outcome = datawa_stream::run_workload(&runner, &trace.workload(), predicted, engine_config);
+    let mut session = Session::open(&runner, predicted, engine_config);
+    session
+        .ingest_workload(&trace.workload())
+        .expect("replay workloads carry finite times");
+    let outcome = session.close(&mut NullSink);
     summarize(policy, &outcome.run)
 }
 
 /// Runs one assignment policy through the legacy synchronous
-/// loop-over-sorted-arrivals driver. Kept (and exercised by tests) as the
-/// reference implementation the engine's replay mode must agree with.
+/// loop-over-sorted-arrivals driver.
+///
+/// Deprecated: the session API ([`run_policy`] /
+/// [`datawa_stream::Session`]) is the single supported driver. This function
+/// survives only as the independent oracle the replay-equivalence tests
+/// compare the engine against; do not build new code on it.
+#[deprecated(
+    since = "0.1.0",
+    note = "drive policies through the session API (`run_policy`); kept only as the \
+            equivalence oracle for tests"
+)]
 pub fn run_policy_legacy(
     trace: &SyntheticTrace,
     policy: PolicyKind,
@@ -336,6 +349,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated legacy loop is the oracle here
     fn engine_replay_matches_the_legacy_driver_exactly() {
         // The acceptance bar for the discrete-event engine: replaying the
         // trace through the engine in replay-compat mode must reproduce the

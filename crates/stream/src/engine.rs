@@ -3,8 +3,9 @@
 
 use crate::event::{Event, EventQueue};
 use crate::scenario::Workload;
+use crate::session::{DecisionSink, NullSink, Session};
 use datawa_assign::{AdaptiveRunner, PredictedTaskInput, RunOutcome};
-use datawa_core::{Duration, Timestamp};
+use datawa_core::Timestamp;
 
 /// Engine knobs: when to re-plan and what happens when a worker leaves.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +39,7 @@ impl EngineConfig {
     /// re-plan every `replan_every` arrivals, no time-driven ticks, no
     /// release-on-offline. Running a replayed trace under this config
     /// produces the same assignment totals as the legacy driver.
+    #[must_use]
     pub fn replay_compat(replan_every: usize) -> EngineConfig {
         EngineConfig {
             replan_every_events: replan_every.max(1),
@@ -47,6 +49,7 @@ impl EngineConfig {
     }
 
     /// Batched planning: re-plan every `n` arrivals instead of every arrival.
+    #[must_use]
     pub fn batched(n: usize) -> EngineConfig {
         EngineConfig {
             replan_every_events: n.max(1),
@@ -55,6 +58,7 @@ impl EngineConfig {
     }
 
     /// Purely time-driven planning: re-plan every `delta_t` seconds only.
+    #[must_use]
     pub fn ticked(delta_t: f64) -> EngineConfig {
         assert!(delta_t > 0.0, "replan interval must be positive");
         EngineConfig {
@@ -173,87 +177,43 @@ impl StreamEngine {
     /// Drains the queue, driving `runner` over every event, and returns the
     /// combined outcome. The engine can be re-loaded and re-run afterwards
     /// (stats reset per run).
+    ///
+    /// This is now a thin wrapper over the open-loop [`Session`] API — open,
+    /// ingest everything, drain — with a sink that drops the incremental
+    /// decisions; callers that want them drive a [`Session`] directly (or use
+    /// [`StreamEngine::run_with_sink`]).
     pub fn run(
         &mut self,
         runner: &AdaptiveRunner,
         predicted: &[PredictedTaskInput],
     ) -> EngineOutcome {
+        self.run_with_sink(runner, predicted, &mut NullSink)
+    }
+
+    /// [`StreamEngine::run`], but with every incremental [`Decision`]
+    /// (dispatches, unserved expirations, worker departures) emitted to
+    /// `sink` as it happens.
+    ///
+    /// [`Decision`]: crate::Decision
+    pub fn run_with_sink(
+        &mut self,
+        runner: &AdaptiveRunner,
+        predicted: &[PredictedTaskInput],
+        sink: &mut dyn DecisionSink,
+    ) -> EngineOutcome {
         self.stats = EngineStats::default();
-        self.queue.reset_peak();
-        let mut state = runner.start(predicted);
-        let mut arrivals_seen: usize = 0;
-
-        // Arm the first time-driven replan tick one interval after the
-        // earliest scheduled event.
-        if let (Some(dt), Some(first)) = (self.config.replan_interval, self.queue.peek_time()) {
-            self.queue.push(first + Duration(dt), Event::ReplanTick);
-        }
-
+        let mut session = Session::open(runner, predicted, self.config);
         while let Some(scheduled) = self.queue.pop() {
-            let now = scheduled.time;
-            self.stats.events_processed += 1;
-            match scheduled.event {
-                Event::WorkerOnline(w) => {
-                    self.stats.arrivals += 1;
-                    state.record_event();
-                    let off = w.off();
-                    let wid = state.insert_worker(w);
-                    // An always-available worker (infinite window) is legal
-                    // in the core model; its death event simply never fires.
-                    if off.is_finite() {
-                        self.queue.push(off, Event::WorkerOffline(wid));
-                    }
-                    let replan = arrival_triggers_replan(&self.config, arrivals_seen);
-                    arrivals_seen += 1;
-                    state.step(now, replan);
-                }
-                Event::TaskArrival(t) => {
-                    self.stats.arrivals += 1;
-                    state.record_event();
-                    let expiration = t.expiration;
-                    let tid = state.insert_task(t);
-                    // Never-expiring tasks stay in the open view until served
-                    // (or lazily pruned); no expiration event to schedule.
-                    if expiration.is_finite() {
-                        self.queue.push(expiration, Event::TaskExpiration(tid));
-                    }
-                    let replan = arrival_triggers_replan(&self.config, arrivals_seen);
-                    arrivals_seen += 1;
-                    state.step(now, replan);
-                }
-                Event::TaskExpiration(tid) => {
-                    self.stats.expirations += 1;
-                    if state.expire_task(tid) {
-                        self.stats.expired_open += 1;
-                    }
-                }
-                Event::WorkerOffline(wid) => {
-                    self.stats.offline += 1;
-                    state.retire_worker(wid, self.config.release_on_offline);
-                }
-                Event::ReplanTick => {
-                    self.stats.replan_ticks += 1;
-                    state.step(now, true);
-                    // Re-arm while any event is still pending; the tick chain
-                    // dies with the queue, so the run always terminates.
-                    if let Some(dt) = self.config.replan_interval {
-                        if !self.queue.is_empty() {
-                            self.queue.push(now + Duration(dt), Event::ReplanTick);
-                        }
-                    }
-                }
-            }
+            session
+                .ingest(scheduled.time, scheduled.event)
+                .expect("engine queue times are finite and the session is fresh");
         }
-
-        self.stats.peak_queue_len = self.queue.peak_len();
-        let run = state.finish();
-        self.stats.peak_partitions = run.peak_partitions;
-        self.stats.peak_partition_workers = run.peak_partition_workers;
-        self.stats.peak_pool_occupancy = run.peak_pool_occupancy;
-        EngineOutcome {
-            run,
-            stats: self.stats,
-        }
+        // The engine queue is drained; restart its high-water mark so the
+        // next load/run pair reports a per-run peak.
+        self.queue.reset_peak();
+        let outcome = session.close(sink);
+        self.stats = outcome.stats;
+        outcome
     }
 }
 

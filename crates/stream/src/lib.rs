@@ -36,6 +36,31 @@
 //! interval semantics of the domain model, and FIFO order breaks exact ties.
 //! Two runs over the same workload are therefore bit-identical.
 //!
+//! ## Sessions and live ingest
+//!
+//! The engine's primary entry point is the open-loop [`Session`] API:
+//! [`Session::open`] starts a run, [`Session::ingest`] schedules events as
+//! they arrive (a live request front-end feeds this incrementally; the batch
+//! wrapper ingests a whole workload at once), [`Session::advance_to`] moves
+//! simulated time forward firing everything due, and [`Session::close`]
+//! drains the remainder and returns the [`EngineOutcome`]. Assignment
+//! decisions are not buffered until the end of the run: every dispatch (and
+//! every unserved expiration / worker departure) is emitted as a typed
+//! [`Decision`] through a pluggable [`DecisionSink`] the moment it is made —
+//! [`CollectingSink`] gathers them in memory, [`ChannelSink`] streams them to
+//! an `mpsc` consumer thread, and [`NullSink`] drops them for totals-only
+//! runs. Mid-stream, [`Session::stats`] and [`Session::snapshot`] expose the
+//! live counters and world-view sizes without stopping the run.
+//!
+//! Because the deterministic queue orders events by `(time, class, ingest
+//! order)` regardless of when they were ingested, feeding a workload
+//! event-by-event through a session — ingesting each event before advancing
+//! to its timestamp — is bit-identical to the batch [`StreamEngine::run`]
+//! wrapper (pinned by the workspace `session_equivalence` tests; see
+//! [`session`] for the exact contract around time-driven replan ticks). The
+//! long-running service loop built on top of sessions (sources, pacing,
+//! backpressure) lives in the `datawa-service` crate.
+//!
 //! ## Replay compatibility
 //!
 //! [`EngineConfig::replay_compat`] reproduces the legacy
@@ -57,6 +82,7 @@
 pub mod engine;
 pub mod event;
 pub mod scenario;
+pub mod session;
 pub mod shard;
 
 pub use engine::{run_workload, EngineConfig, EngineOutcome, EngineStats, StreamEngine};
@@ -64,6 +90,10 @@ pub use event::{Event, EventQueue, ScheduledEvent};
 pub use scenario::{
     builtin_scenarios, HeavyTailedChurn, HotspotDrift, RushHourBurst, ScenarioGenerator,
     ScenarioSpec, UniformBaseline, Workload,
+};
+pub use session::{
+    ChannelSink, CollectingSink, Decision, DecisionSink, IngestError, NullSink, Session,
+    SessionSnapshot,
 };
 pub use shard::{
     run_workload_sharded, ShardRouting, ShardedEngineConfig, ShardedOutcome, ShardedStreamEngine,

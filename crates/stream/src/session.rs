@@ -1,0 +1,729 @@
+//! The open-loop session API: live ingest, incremental advancement and typed
+//! assignment decisions.
+//!
+//! [`Session`] is the engine's primary entry point. Where the historical
+//! batch driver required the full [`Workload`](crate::Workload) up front and
+//! blocked until the queue drained, a session stays open: the caller ingests
+//! events as they arrive ([`Session::ingest`]), advances simulated time in
+//! increments ([`Session::advance_to`]), inspects the live state mid-stream
+//! ([`Session::stats`] / [`Session::snapshot`]) and receives every
+//! assignment decision *as it is made* through a pluggable [`DecisionSink`].
+//! Batch [`StreamEngine::run`](crate::StreamEngine::run) is now a thin
+//! wrapper over this type: open, ingest everything, drain.
+//!
+//! Determinism is inherited from the [`EventQueue`]: pending events fire in
+//! `(time, class, ingest order)` order regardless of ingest granularity.
+//! Feeding a workload event-by-event therefore produces bit-identical
+//! outcomes to the batch wrapper (pinned by the workspace
+//! `session_equivalence` tests) *provided each event is ingested before the
+//! session advances to its timestamp*. Ingesting at exactly the watermark is
+//! allowed — but under a time-driven replan interval, a tick due at that
+//! instant has then already fired, ahead of where the batch driver's
+//! tick-last ordering would put it; drivers that need exact replay (the
+//! `datawa-service` sources) keep every advance strictly before the next
+//! arrival's timestamp.
+
+use crate::engine::{arrival_triggers_replan, EngineConfig, EngineOutcome, EngineStats};
+use crate::event::{Event, EventQueue, ScheduledEvent};
+use crate::scenario::Workload;
+use datawa_assign::{AdaptiveRunner, PredictedTaskInput, RunnerState};
+use datawa_core::{Duration, TaskId, Timestamp, WorkerId};
+use std::sync::mpsc::Sender;
+
+/// One incremental decision emitted by a session.
+///
+/// `Dispatch` is the assignment decision proper; the lifecycle variants
+/// surface the two ways supply/demand leaves the system so a live consumer
+/// can track unserved losses without polling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// A worker departs for a task (ids are the run's dense store ids).
+    Dispatch {
+        /// The time instance at which the assignment was decided.
+        at: Timestamp,
+        /// The dispatched worker.
+        worker: WorkerId,
+        /// The task it will serve.
+        task: TaskId,
+        /// When the worker reaches the task.
+        eta: Timestamp,
+    },
+    /// An open task's lifetime ended before any worker served it.
+    TaskExpired {
+        /// The expiration instant.
+        at: Timestamp,
+        /// The lost task.
+        task: TaskId,
+    },
+    /// A worker's availability window closed.
+    WorkerOffline {
+        /// The window-close instant.
+        at: Timestamp,
+        /// The departing worker.
+        worker: WorkerId,
+    },
+}
+
+impl Decision {
+    /// The simulated time of the decision.
+    pub fn at(&self) -> Timestamp {
+        match self {
+            Decision::Dispatch { at, .. }
+            | Decision::TaskExpired { at, .. }
+            | Decision::WorkerOffline { at, .. } => *at,
+        }
+    }
+
+    /// Whether this is an assignment (dispatch) decision.
+    #[inline]
+    pub fn is_dispatch(&self) -> bool {
+        matches!(self, Decision::Dispatch { .. })
+    }
+}
+
+/// A consumer of incremental session output.
+///
+/// `emit` receives every [`Decision`] in decision order. `observe_event` is
+/// an optional hook that sees every processed event (arrivals, lifecycle
+/// events and replan ticks) in deterministic firing order — useful for
+/// tracing and for pinning the same-instant ordering contract in tests;
+/// the default implementation does nothing.
+pub trait DecisionSink {
+    /// Receives one decision.
+    fn emit(&mut self, decision: Decision);
+
+    /// Observes one processed event at its firing time (default: no-op).
+    fn observe_event(&mut self, _time: Timestamp, _event: &Event) {}
+}
+
+/// A sink that drops everything (batch runs that only need totals).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl DecisionSink for NullSink {
+    fn emit(&mut self, _decision: Decision) {}
+}
+
+/// A sink that collects decisions into a vector.
+#[derive(Debug, Clone, Default)]
+pub struct CollectingSink {
+    decisions: Vec<Decision>,
+}
+
+impl CollectingSink {
+    /// Creates an empty collecting sink.
+    #[must_use]
+    pub fn new() -> CollectingSink {
+        CollectingSink::default()
+    }
+
+    /// The decisions collected so far, in decision order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Number of dispatch (assignment) decisions collected.
+    pub fn dispatches(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_dispatch()).count()
+    }
+
+    /// Consumes the sink, returning the collected decisions.
+    #[must_use]
+    pub fn into_decisions(self) -> Vec<Decision> {
+        self.decisions
+    }
+}
+
+impl DecisionSink for CollectingSink {
+    fn emit(&mut self, decision: Decision) {
+        self.decisions.push(decision);
+    }
+}
+
+/// A channel-backed sink: every decision is sent to an `mpsc` consumer (for
+/// example a logging/serving thread). A hung-up receiver does not fail the
+/// session; undeliverable decisions are counted instead.
+#[derive(Debug)]
+pub struct ChannelSink {
+    tx: Sender<Decision>,
+    sent: usize,
+    undeliverable: usize,
+}
+
+impl ChannelSink {
+    /// Wraps a channel sender.
+    #[must_use]
+    pub fn new(tx: Sender<Decision>) -> ChannelSink {
+        ChannelSink {
+            tx,
+            sent: 0,
+            undeliverable: 0,
+        }
+    }
+
+    /// Decisions successfully handed to the channel.
+    pub fn sent(&self) -> usize {
+        self.sent
+    }
+
+    /// Decisions dropped because the receiver hung up.
+    pub fn undeliverable(&self) -> usize {
+        self.undeliverable
+    }
+}
+
+impl DecisionSink for ChannelSink {
+    fn emit(&mut self, decision: Decision) {
+        match self.tx.send(decision) {
+            Ok(()) => self.sent += 1,
+            Err(_) => self.undeliverable += 1,
+        }
+    }
+}
+
+/// Why [`Session::ingest`] rejected an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestError {
+    /// The scheduling time is NaN or infinite.
+    NonFiniteTime {
+        /// The offending time.
+        time: Timestamp,
+    },
+    /// The event is scheduled before time the session has already advanced
+    /// past — it could never fire in order.
+    BehindWatermark {
+        /// The offending time.
+        time: Timestamp,
+        /// How far the session has advanced.
+        watermark: Timestamp,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::NonFiniteTime { time } => {
+                write!(f, "cannot ingest an event at non-finite time {time}")
+            }
+            IngestError::BehindWatermark { time, watermark } => write!(
+                f,
+                "cannot ingest an event at {time}: the session already advanced to {watermark}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// A mid-stream view of a session's live state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSnapshot {
+    /// How far simulated time has advanced (`-inf` before the first
+    /// [`Session::advance_to`]).
+    pub now: Timestamp,
+    /// Events still pending in the session queue.
+    pub pending_events: usize,
+    /// Candidate open tasks tracked by the incremental view.
+    pub open_tasks: usize,
+    /// Candidate available workers tracked by the incremental view.
+    pub available_workers: usize,
+    /// Real tasks dispatched so far.
+    pub assigned_tasks: usize,
+    /// Events processed so far (arrivals + lifecycle + ticks).
+    pub events_processed: usize,
+}
+
+/// An open streaming run: the session owns the event queue and the runner
+/// state, and the caller controls time.
+///
+/// ```
+/// use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind};
+/// use datawa_core::{Location, Task, TaskId, Timestamp, Worker, WorkerId};
+/// use datawa_stream::{CollectingSink, EngineConfig, Event, Session};
+///
+/// let runner = AdaptiveRunner::new(AssignConfig::unit_speed(), PolicyKind::Dta);
+/// let mut sink = CollectingSink::new();
+/// let mut session = Session::open(&runner, &[], EngineConfig::default());
+///
+/// let w = Worker::new(WorkerId(0), Location::new(0.0, 0.0), 5.0, Timestamp(0.0), Timestamp(100.0));
+/// let t = Task::new(TaskId(0), Location::new(1.0, 0.0), Timestamp(1.0), Timestamp(50.0));
+/// session.ingest(w.on(), Event::WorkerOnline(w)).unwrap();
+/// session.advance_to(Timestamp(0.5), &mut sink);
+/// session.ingest(t.publication, Event::TaskArrival(t)).unwrap();
+/// session.advance_to(Timestamp(2.0), &mut sink);
+/// assert_eq!(sink.dispatches(), 1, "decision emitted as soon as it was made");
+///
+/// let outcome = session.close(&mut sink);
+/// assert_eq!(outcome.run.assigned_tasks, 1);
+/// ```
+pub struct Session<'a> {
+    config: EngineConfig,
+    queue: EventQueue,
+    state: RunnerState<'a>,
+    stats: EngineStats,
+    arrivals_seen: usize,
+    watermark: Timestamp,
+    /// The armed time-driven replan tick, if any. Ticks live outside the
+    /// queue so a live session can re-arm a chain that died while the queue
+    /// was momentarily empty.
+    next_tick: Option<Timestamp>,
+    dispatches_emitted: usize,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session over `runner`.
+    ///
+    /// Panics on a non-positive or non-finite
+    /// [`EngineConfig::replan_interval`] for the same reason
+    /// [`StreamEngine::new`](crate::StreamEngine::new) does.
+    #[must_use]
+    pub fn open(
+        runner: &'a AdaptiveRunner,
+        predicted: &'a [PredictedTaskInput],
+        config: EngineConfig,
+    ) -> Session<'a> {
+        if let Some(dt) = config.replan_interval {
+            assert!(
+                dt.is_finite() && dt > 0.0,
+                "replan_interval must be a positive finite number of seconds, got {dt}"
+            );
+        }
+        Session {
+            config,
+            queue: EventQueue::new(),
+            state: runner.start(predicted),
+            stats: EngineStats::default(),
+            arrivals_seen: 0,
+            watermark: Timestamp(f64::NEG_INFINITY),
+            next_tick: None,
+            dispatches_emitted: 0,
+        }
+    }
+
+    /// The session's engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// How far simulated time has advanced (`-inf` before the first
+    /// [`Session::advance_to`]).
+    pub fn now(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Events pending in the session queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Dispatch decisions emitted so far.
+    pub fn dispatches_emitted(&self) -> usize {
+        self.dispatches_emitted
+    }
+
+    /// A snapshot of the engine counters so far (the queue high-water mark is
+    /// filled in live, everything else accumulates as events fire).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            peak_queue_len: self.queue.peak_len(),
+            ..self.stats
+        }
+    }
+
+    /// A mid-stream view of the live state.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            now: self.watermark,
+            pending_events: self.queue.len(),
+            open_tasks: self.state.open_candidates(),
+            available_workers: self.state.available_candidates(),
+            assigned_tasks: self.state.assigned_so_far(),
+            events_processed: self.stats.events_processed,
+        }
+    }
+
+    /// Number of candidate open tasks currently tracked (the demand signal
+    /// the sharded engine uses for boundary hand-offs).
+    #[inline]
+    pub fn open_candidates(&self) -> usize {
+        self.state.open_candidates()
+    }
+
+    /// Schedules one event. Arrival events may be ingested at any time at or
+    /// after the watermark; their lifetime-closing events
+    /// ([`Event::TaskExpiration`] / [`Event::WorkerOffline`]) are scheduled
+    /// automatically when the arrival fires. An explicitly ingested
+    /// [`Event::ReplanTick`] forces a one-shot re-plan at its time (it does
+    /// not re-arm).
+    pub fn ingest(&mut self, time: Timestamp, event: Event) -> Result<(), IngestError> {
+        if !time.is_finite() {
+            return Err(IngestError::NonFiniteTime { time });
+        }
+        if time.0 < self.watermark.0 {
+            return Err(IngestError::BehindWatermark {
+                time,
+                watermark: self.watermark,
+            });
+        }
+        self.queue.push(time, event);
+        Ok(())
+    }
+
+    /// Ingests a whole workload: every worker at its online time, every task
+    /// at its publication time. Returns the number of events ingested.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first entity whose online/publication time is non-finite
+    /// or behind the watermark (events ingested before the failure stay
+    /// scheduled).
+    pub fn ingest_workload(&mut self, workload: &Workload) -> Result<usize, IngestError> {
+        for w in &workload.workers {
+            self.ingest(w.on(), Event::WorkerOnline(*w))?;
+        }
+        for t in &workload.tasks {
+            self.ingest(t.publication, Event::TaskArrival(*t))?;
+        }
+        Ok(workload.arrival_count())
+    }
+
+    /// Advances simulated time to `target`, firing every pending event and
+    /// armed replan tick due at or before it, in deterministic `(time,
+    /// class, ingest order)` order, and emitting decisions to `sink` as they
+    /// are made. Returns the number of events processed by this call.
+    pub fn advance_to(&mut self, target: Timestamp, sink: &mut dyn DecisionSink) -> usize {
+        self.arm_tick();
+        let mut processed = 0usize;
+        loop {
+            let event_due = self.queue.peek_time().filter(|t| t.0 <= target.0);
+            let tick_due = self.next_tick.filter(|t| t.0 <= target.0);
+            match (event_due, tick_due) {
+                (None, None) => break,
+                (Some(et), Some(tt)) if tt.0 < et.0 => self.fire_tick(tt, sink),
+                (None, Some(tt)) => self.fire_tick(tt, sink),
+                (Some(_), _) => {
+                    let scheduled = self.queue.pop().expect("peeked event vanished");
+                    self.process(scheduled, sink);
+                }
+            }
+            processed += 1;
+        }
+        if target.0 > self.watermark.0 {
+            self.watermark = target;
+        }
+        processed
+    }
+
+    /// Forces an immediate re-plan at `now` (outside the tick chain), for
+    /// example when an external controller detects demand drift. Counts
+    /// toward the outcome's planning statistics but not toward the queue's
+    /// event counters.
+    pub fn force_replan(&mut self, now: Timestamp, sink: &mut dyn DecisionSink) {
+        self.state.step(now, true);
+        self.emit_dispatches(sink);
+        if now.0 > self.watermark.0 {
+            self.watermark = now;
+        }
+    }
+
+    /// Closes the session: drains every remaining event (and the tick chain,
+    /// which dies with the queue), emits the final decisions to `sink` and
+    /// returns the combined outcome.
+    #[must_use = "the outcome carries the run totals"]
+    pub fn close(mut self, sink: &mut dyn DecisionSink) -> EngineOutcome {
+        self.advance_to(Timestamp(f64::INFINITY), sink);
+        self.stats.peak_queue_len = self.queue.peak_len();
+        let run = self.state.finish();
+        self.stats.peak_partitions = run.peak_partitions;
+        self.stats.peak_partition_workers = run.peak_partition_workers;
+        self.stats.peak_pool_occupancy = run.peak_pool_occupancy;
+        EngineOutcome {
+            run,
+            stats: self.stats,
+        }
+    }
+
+    /// Arms (or re-arms) the time-driven tick chain off the earliest pending
+    /// event, mirroring the batch driver: the first tick fires one interval
+    /// after the earliest scheduled event. A chain that died while the queue
+    /// was empty re-arms here once new events are ingested.
+    fn arm_tick(&mut self) {
+        if let (Some(dt), None) = (self.config.replan_interval, self.next_tick) {
+            if let Some(first) = self.queue.peek_time() {
+                self.next_tick = Some(first + Duration(dt));
+            }
+        }
+    }
+
+    /// Fires the armed time-driven tick at `tt` and re-arms it while any
+    /// event is still pending (the chain dies with the queue, so draining
+    /// always terminates — exactly the batch driver's semantics).
+    fn fire_tick(&mut self, tt: Timestamp, sink: &mut dyn DecisionSink) {
+        self.stats.events_processed += 1;
+        self.stats.replan_ticks += 1;
+        sink.observe_event(tt, &Event::ReplanTick);
+        self.state.step(tt, true);
+        self.emit_dispatches(sink);
+        self.next_tick = match self.config.replan_interval {
+            Some(dt) if !self.queue.is_empty() => Some(tt + Duration(dt)),
+            _ => None,
+        };
+    }
+
+    fn process(&mut self, scheduled: ScheduledEvent, sink: &mut dyn DecisionSink) {
+        let now = scheduled.time;
+        self.stats.events_processed += 1;
+        sink.observe_event(now, &scheduled.event);
+        match scheduled.event {
+            Event::WorkerOnline(w) => {
+                self.stats.arrivals += 1;
+                self.state.record_event();
+                let off = w.off();
+                let wid = self.state.insert_worker(w);
+                // An always-available worker (infinite window) is legal in
+                // the core model; its death event simply never fires.
+                if off.is_finite() {
+                    self.queue.push(off, Event::WorkerOffline(wid));
+                }
+                let replan = arrival_triggers_replan(&self.config, self.arrivals_seen);
+                self.arrivals_seen += 1;
+                self.state.step(now, replan);
+                self.emit_dispatches(sink);
+            }
+            Event::TaskArrival(t) => {
+                self.stats.arrivals += 1;
+                self.state.record_event();
+                let expiration = t.expiration;
+                let tid = self.state.insert_task(t);
+                // Never-expiring tasks stay in the open view until served
+                // (or lazily pruned); no expiration event to schedule.
+                if expiration.is_finite() {
+                    self.queue.push(expiration, Event::TaskExpiration(tid));
+                }
+                let replan = arrival_triggers_replan(&self.config, self.arrivals_seen);
+                self.arrivals_seen += 1;
+                self.state.step(now, replan);
+                self.emit_dispatches(sink);
+            }
+            Event::TaskExpiration(tid) => {
+                self.stats.expirations += 1;
+                if self.state.expire_task(tid) {
+                    self.stats.expired_open += 1;
+                    sink.emit(Decision::TaskExpired { at: now, task: tid });
+                }
+            }
+            Event::WorkerOffline(wid) => {
+                self.stats.offline += 1;
+                self.state
+                    .retire_worker(wid, self.config.release_on_offline);
+                sink.emit(Decision::WorkerOffline {
+                    at: now,
+                    worker: wid,
+                });
+            }
+            Event::ReplanTick => {
+                // An explicitly ingested tick: one-shot forced re-plan.
+                self.stats.replan_ticks += 1;
+                self.state.step(now, true);
+                self.emit_dispatches(sink);
+            }
+        }
+    }
+
+    fn emit_dispatches(&mut self, sink: &mut dyn DecisionSink) {
+        for d in self.state.take_dispatches() {
+            self.dispatches_emitted += 1;
+            sink.emit(Decision::Dispatch {
+                at: d.decided_at,
+                worker: d.worker,
+                task: d.task,
+                eta: d.eta,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datawa_assign::{AssignConfig, PolicyKind};
+    use datawa_core::{Location, Task, Worker};
+
+    fn worker(x: f64, on: f64, off: f64, d: f64) -> Worker {
+        Worker::new(
+            WorkerId(0),
+            Location::new(x, 0.0),
+            d,
+            Timestamp(on),
+            Timestamp(off),
+        )
+    }
+
+    fn task(x: f64, p: f64, e: f64) -> Task {
+        Task::new(TaskId(0), Location::new(x, 0.0), Timestamp(p), Timestamp(e))
+    }
+
+    fn runner(policy: PolicyKind) -> AdaptiveRunner {
+        AdaptiveRunner::new(AssignConfig::unit_speed(), policy)
+    }
+
+    #[test]
+    fn decisions_stream_out_as_time_advances() {
+        let r = runner(PolicyKind::Dta);
+        let mut sink = CollectingSink::new();
+        let mut session = Session::open(&r, &[], EngineConfig::default());
+        session
+            .ingest(
+                Timestamp(0.0),
+                Event::WorkerOnline(worker(0.0, 0.0, 100.0, 5.0)),
+            )
+            .unwrap();
+        session
+            .ingest(Timestamp(1.0), Event::TaskArrival(task(1.0, 1.0, 50.0)))
+            .unwrap();
+        session.advance_to(Timestamp(1.0), &mut sink);
+        assert_eq!(sink.dispatches(), 1, "dispatch visible before close");
+        assert_eq!(session.dispatches_emitted(), 1);
+
+        // A later arrival, ingested after the first advance, still works.
+        session
+            .ingest(Timestamp(5.0), Event::TaskArrival(task(2.0, 5.0, 60.0)))
+            .unwrap();
+        let outcome = session.close(&mut sink);
+        assert_eq!(outcome.run.assigned_tasks, 2);
+        assert_eq!(sink.dispatches(), 2);
+        // One offline + two expirations are lifecycle records, not
+        // dispatches; the served tasks never emit TaskExpired.
+        let expired = sink
+            .decisions()
+            .iter()
+            .filter(|d| matches!(d, Decision::TaskExpired { .. }))
+            .count();
+        assert_eq!(expired, 0, "served tasks left the open view at dispatch");
+    }
+
+    #[test]
+    fn unserved_expiration_is_reported_as_a_decision() {
+        let r = runner(PolicyKind::Dta);
+        let mut sink = CollectingSink::new();
+        let session = {
+            let mut s = Session::open(&r, &[], EngineConfig::ticked(100.0));
+            s.ingest(
+                Timestamp(0.0),
+                Event::WorkerOnline(worker(0.0, 0.0, 50.0, 5.0)),
+            )
+            .unwrap();
+            // Expires at t=3, before the first tick at t=100: never planned.
+            s.ingest(Timestamp(1.0), Event::TaskArrival(task(0.5, 1.0, 3.0)))
+                .unwrap();
+            s
+        };
+        let outcome = session.close(&mut sink);
+        assert_eq!(outcome.run.assigned_tasks, 0);
+        assert!(sink
+            .decisions()
+            .iter()
+            .any(|d| matches!(d, Decision::TaskExpired { .. })));
+    }
+
+    #[test]
+    fn ingest_rejects_times_behind_the_watermark() {
+        let r = runner(PolicyKind::Greedy);
+        let mut sink = NullSink;
+        let mut session = Session::open(&r, &[], EngineConfig::default());
+        session.advance_to(Timestamp(10.0), &mut sink);
+        let err = session
+            .ingest(Timestamp(5.0), Event::TaskArrival(task(0.0, 5.0, 20.0)))
+            .unwrap_err();
+        assert!(matches!(err, IngestError::BehindWatermark { .. }));
+        let err = session
+            .ingest(Timestamp(f64::NAN), Event::ReplanTick)
+            .unwrap_err();
+        assert!(matches!(err, IngestError::NonFiniteTime { .. }));
+        // At the watermark is fine (half-open advance).
+        assert!(session
+            .ingest(Timestamp(10.0), Event::TaskArrival(task(0.0, 10.0, 20.0)))
+            .is_ok());
+    }
+
+    #[test]
+    fn snapshot_tracks_live_state() {
+        let r = runner(PolicyKind::Dta);
+        let mut sink = NullSink;
+        let mut session = Session::open(&r, &[], EngineConfig::default());
+        session
+            .ingest(
+                Timestamp(0.0),
+                Event::WorkerOnline(worker(0.0, 0.0, 100.0, 5.0)),
+            )
+            .unwrap();
+        session
+            .ingest(Timestamp(1.0), Event::TaskArrival(task(9.0, 1.0, 500.0)))
+            .unwrap();
+        session.advance_to(Timestamp(2.0), &mut sink);
+        let snap = session.snapshot();
+        assert_eq!(snap.now, Timestamp(2.0));
+        assert_eq!(snap.available_workers, 1);
+        assert_eq!(snap.open_tasks, 1, "task too far away to serve yet");
+        assert_eq!(snap.assigned_tasks, 0);
+        assert!(snap.pending_events >= 2, "offline + expiration pending");
+    }
+
+    #[test]
+    fn tick_chain_rearms_after_a_quiet_period() {
+        // The chain dies when the queue empties mid-session; ingesting more
+        // work and advancing again must restart time-driven planning.
+        let r = runner(PolicyKind::Dta);
+        let mut sink = NullSink;
+        let mut session = Session::open(&r, &[], EngineConfig::ticked(2.0));
+        session
+            .ingest(
+                Timestamp(0.0),
+                Event::WorkerOnline(worker(0.0, 0.0, 1000.0, 5.0)),
+            )
+            .unwrap();
+        session
+            .ingest(Timestamp(1.0), Event::TaskArrival(task(0.5, 1.0, 30.0)))
+            .unwrap();
+        session.advance_to(Timestamp(40.0), &mut sink);
+        let before = session.stats().replan_ticks;
+        assert!(before >= 1);
+        assert_eq!(session.snapshot().assigned_tasks, 1);
+
+        session
+            .ingest(
+                Timestamp(100.0),
+                Event::TaskArrival(task(1.0, 100.0, 130.0)),
+            )
+            .unwrap();
+        let outcome = session.close(&mut sink);
+        assert!(outcome.stats.replan_ticks > before, "chain re-armed");
+        assert_eq!(outcome.run.assigned_tasks, 2);
+    }
+
+    #[test]
+    fn explicit_replan_tick_is_one_shot() {
+        let r = runner(PolicyKind::Dta);
+        let mut sink = CollectingSink::new();
+        // Arrival-driven planning off entirely: only the explicit tick plans.
+        let config = EngineConfig {
+            replan_every_events: 0,
+            replan_interval: None,
+            release_on_offline: true,
+        };
+        let mut session = Session::open(&r, &[], config);
+        session
+            .ingest(
+                Timestamp(0.0),
+                Event::WorkerOnline(worker(0.0, 0.0, 100.0, 5.0)),
+            )
+            .unwrap();
+        session
+            .ingest(Timestamp(1.0), Event::TaskArrival(task(0.5, 1.0, 50.0)))
+            .unwrap();
+        session.ingest(Timestamp(2.0), Event::ReplanTick).unwrap();
+        let outcome = session.close(&mut sink);
+        assert_eq!(outcome.run.assigned_tasks, 1, "the explicit tick planned");
+        assert_eq!(outcome.stats.replan_ticks, 1, "and it did not re-arm");
+    }
+}

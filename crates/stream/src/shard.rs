@@ -26,11 +26,12 @@
 //! identity and the engine reproduces [`StreamEngine`](crate::StreamEngine)
 //! outcomes exactly (pinned by tests).
 
-use crate::engine::{arrival_triggers_replan, EngineConfig, EngineStats};
+use crate::engine::{EngineConfig, EngineStats};
 use crate::event::{Event, EventQueue};
 use crate::scenario::Workload;
-use datawa_assign::{pool, AdaptiveRunner, PredictedTaskInput, RunOutcome, RunnerState};
-use datawa_core::{Duration, TaskId, WorkerId};
+use crate::session::{NullSink, Session};
+use datawa_assign::{pool, AdaptiveRunner, PredictedTaskInput, RunOutcome};
+use datawa_core::Duration;
 use datawa_geo::ShardMap;
 
 /// Configuration of a sharded run.
@@ -117,8 +118,17 @@ impl ShardedStreamEngine {
         self.queue.len()
     }
 
-    /// Drains the queue, driving one runner state per shard, and returns the
-    /// combined outcome.
+    /// Drains the queue, driving one open [`Session`] per shard, and returns
+    /// the combined outcome.
+    ///
+    /// The spine queue holds only arrival events and the global replan-tick
+    /// chain; lifecycle events (expirations, offlines) are shard-local —
+    /// each shard session schedules and fires its own. Before an arrival is
+    /// routed (and before every global tick), all sessions are advanced to
+    /// the current instant so shard-local lifecycle events due at or before
+    /// it have fired; this reproduces the former single-queue global event
+    /// order exactly, because same-instant lifecycle classes sort ahead of
+    /// arrivals and ticks.
     pub fn run(
         &mut self,
         runner: &AdaptiveRunner,
@@ -135,17 +145,18 @@ impl ShardedStreamEngine {
         for p in predicted {
             predicted_by_shard[self.map.shard_of(&p.location).index()].push(*p);
         }
-        let mut states: Vec<RunnerState> = predicted_by_shard
+        // Per-shard sessions plan arrival-driven; the global tick chain is
+        // owned by the spine loop, which steps every shard at once.
+        let shard_config = EngineConfig {
+            replan_interval: None,
+            ..self.config.engine
+        };
+        let mut sessions: Vec<Session> = predicted_by_shard
             .iter()
-            .map(|pred| runner.start(pred))
+            .map(|pred| Session::open(runner, pred, shard_config))
             .collect();
-        let mut arrivals_seen = vec![0usize; shard_count];
         let mut routing = vec![ShardRouting::default(); shard_count];
         let mut boundary_workers = 0usize;
-        // Global id → (shard, shard-local id), in arrival order. Lifecycle
-        // events carry the global id and are translated on pop.
-        let mut worker_owner: Vec<(usize, WorkerId)> = Vec::new();
-        let mut task_owner: Vec<(usize, TaskId)> = Vec::new();
         let threads = pool::effective_threads(self.config.threads);
 
         if let (Some(dt), Some(first)) =
@@ -160,6 +171,9 @@ impl ShardedStreamEngine {
             match scheduled.event {
                 Event::WorkerOnline(w) => {
                     self.stats.arrivals += 1;
+                    for session in sessions.iter_mut() {
+                        session.advance_to(now, &mut NullSink);
+                    }
                     let candidates = self
                         .map
                         .shards_within_radius(&w.location, w.reachable_distance);
@@ -171,9 +185,9 @@ impl ShardedStreamEngine {
                         // shard id).
                         boundary_workers += 1;
                         let mut best = candidates[0].index();
-                        let mut best_open = states[best].open_candidates();
+                        let mut best_open = sessions[best].open_candidates();
                         for c in &candidates[1..] {
-                            let open = states[c.index()].open_candidates();
+                            let open = sessions[c.index()].open_candidates();
                             if open > best_open {
                                 best = c.index();
                                 best_open = open;
@@ -182,65 +196,62 @@ impl ShardedStreamEngine {
                         best
                     };
                     routing[shard].workers += 1;
-                    let state = &mut states[shard];
-                    state.record_event();
-                    let off = w.off();
-                    let local = state.insert_worker(w);
-                    let global = worker_owner.len() as u32;
-                    worker_owner.push((shard, local));
-                    if off.is_finite() {
-                        self.queue.push(off, Event::WorkerOffline(WorkerId(global)));
-                    }
-                    let replan = arrival_triggers_replan(&self.config.engine, arrivals_seen[shard]);
-                    arrivals_seen[shard] += 1;
-                    state.step(now, replan);
+                    sessions[shard]
+                        .ingest(now, Event::WorkerOnline(w))
+                        .expect("spine times are finite and never regress");
+                    sessions[shard].advance_to(now, &mut NullSink);
                 }
                 Event::TaskArrival(t) => {
                     self.stats.arrivals += 1;
                     let shard = self.map.shard_of(&t.location).index();
                     routing[shard].tasks += 1;
-                    let state = &mut states[shard];
-                    state.record_event();
-                    let expiration = t.expiration;
-                    let local = state.insert_task(t);
-                    let global = task_owner.len() as u32;
-                    task_owner.push((shard, local));
-                    if expiration.is_finite() {
-                        self.queue
-                            .push(expiration, Event::TaskExpiration(TaskId(global)));
-                    }
-                    let replan = arrival_triggers_replan(&self.config.engine, arrivals_seen[shard]);
-                    arrivals_seen[shard] += 1;
-                    state.step(now, replan);
-                }
-                Event::TaskExpiration(global) => {
-                    self.stats.expirations += 1;
-                    let (shard, local) = task_owner[global.index()];
-                    if states[shard].expire_task(local) {
-                        self.stats.expired_open += 1;
-                    }
-                }
-                Event::WorkerOffline(global) => {
-                    self.stats.offline += 1;
-                    let (shard, local) = worker_owner[global.index()];
-                    states[shard].retire_worker(local, self.config.engine.release_on_offline);
+                    sessions[shard]
+                        .ingest(now, Event::TaskArrival(t))
+                        .expect("spine times are finite and never regress");
+                    sessions[shard].advance_to(now, &mut NullSink);
                 }
                 Event::ReplanTick => {
                     self.stats.replan_ticks += 1;
-                    // All shards re-plan at the same instant; their states
+                    // All shards re-plan at the same instant; their sessions
                     // are independent, so fan the steps out to the pool.
-                    pool::scatter_mut(threads, &mut states, |_, state| state.step(now, true));
+                    // Each shard first fires its own lifecycle events due by
+                    // `now`, then force-replans.
+                    pool::scatter_mut(threads, &mut sessions, |_, session| {
+                        let mut sink = NullSink;
+                        session.advance_to(now, &mut sink);
+                        session.force_replan(now, &mut sink);
+                    });
                     if let Some(dt) = self.config.engine.replan_interval {
                         if !self.queue.is_empty() {
                             self.queue.push(now + Duration(dt), Event::ReplanTick);
                         }
                     }
                 }
+                Event::TaskExpiration(_) | Event::WorkerOffline(_) => {
+                    unreachable!("lifecycle events are shard-local in the sessioned engine")
+                }
             }
         }
 
-        self.stats.peak_queue_len = self.queue.peak_len();
-        let per_shard: Vec<RunOutcome> = states.into_iter().map(RunnerState::finish).collect();
+        // Close every shard: remaining shard-local lifecycle events (past the
+        // last spine arrival) fire during the drain.
+        let mut spine_peak = self.queue.peak_len();
+        let mut per_shard: Vec<RunOutcome> = Vec::with_capacity(shard_count);
+        for session in sessions {
+            let outcome = session.close(&mut NullSink);
+            self.stats.expirations += outcome.stats.expirations;
+            self.stats.expired_open += outcome.stats.expired_open;
+            self.stats.offline += outcome.stats.offline;
+            // Shard sessions re-count their arrivals; only their lifecycle
+            // pops add to the spine's event total.
+            self.stats.events_processed += outcome.stats.events_processed - outcome.stats.arrivals;
+            spine_peak += outcome.stats.peak_queue_len;
+            per_shard.push(outcome.run);
+        }
+
+        // Upper bound on simultaneously pending events across the spine and
+        // every shard-local queue.
+        self.stats.peak_queue_len = spine_peak;
         let mut total = RunOutcome::default();
         for o in &per_shard {
             total.assigned_tasks += o.assigned_tasks;

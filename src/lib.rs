@@ -17,11 +17,15 @@
 //! * [`assign`] — reachable tasks, maximal valid sequences, DFSearch, the
 //!   Task Value Function, the adaptive streaming runner and the five
 //!   evaluated policies;
-//! * [`stream`] — the discrete-event streaming engine (typed lifecycle
-//!   events, deterministic queue, batched re-planning) and the built-in
-//!   scenario generators;
+//! * [`stream`] — the discrete-event streaming engine: the open-loop
+//!   session API (live ingest, incremental typed decisions), typed
+//!   lifecycle events, deterministic queue, batched re-planning and the
+//!   built-in scenario generators;
+//! * [`service`] — the long-running dispatch service over sessions: ingest
+//!   sources (workload replay, paced live traffic), backpressure and
+//!   mid-stream inspection;
 //! * [`sim`] — synthetic Yueche/DiDi-like trace generation and the
-//!   end-to-end pipeline (driven through the engine).
+//!   end-to-end pipeline (driven through the session API).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,7 @@ pub use datawa_core as core;
 pub use datawa_geo as geo;
 pub use datawa_graph as graph;
 pub use datawa_predict as predict;
+pub use datawa_service as service;
 pub use datawa_sim as sim;
 pub use datawa_stream as stream;
 pub use datawa_tensor as tensor;
@@ -47,8 +52,8 @@ pub use datawa_tensor as tensor;
 /// One-stop imports for examples and downstream binaries.
 pub mod prelude {
     pub use datawa_assign::{
-        AdaptiveRunner, ArrivalEvent, AssignConfig, Planner, PolicyKind, PredictedTaskInput,
-        RunnerState, SearchMode, TaskValueFunction, TvfInference,
+        AdaptiveRunner, ArrivalEvent, AssignConfig, DispatchRecord, Planner, PolicyKind,
+        PredictedTaskInput, RunnerState, SearchMode, TaskValueFunction, TvfInference,
     };
     pub use datawa_core::prelude::*;
     pub use datawa_geo::{GridSpec, ShardId, ShardMap, SpatialIndex, UniformGrid};
@@ -56,14 +61,21 @@ pub mod prelude {
         DdgnnPredictor, DemandPredictor, GraphWaveNetPredictor, LstmPredictor, SeriesDataset,
         SeriesSpec, TrainingConfig,
     };
+    pub use datawa_service::{
+        DispatchService, IngestSource, LiveSource, PumpStatus, ServiceConfig, ServiceStats,
+        SourcePoll, WorkloadSource,
+    };
+    #[allow(deprecated)] // the equivalence tests reach the oracle through the prelude
+    pub use datawa_sim::run_policy_legacy;
     pub use datawa_sim::{
-        run_policy, run_policy_legacy, run_prediction, train_tvf_on_prefix, PipelineConfig,
-        SyntheticTrace, TraceSpec,
+        run_policy, run_prediction, train_tvf_on_prefix, PipelineConfig, SyntheticTrace, TraceSpec,
     };
     pub use datawa_stream::{
-        builtin_scenarios, run_workload, run_workload_sharded, EngineConfig, EngineOutcome, Event,
-        EventQueue, HeavyTailedChurn, HotspotDrift, RushHourBurst, ScenarioGenerator, ScenarioSpec,
-        ShardedEngineConfig, ShardedStreamEngine, StreamEngine, UniformBaseline, Workload,
+        builtin_scenarios, run_workload, run_workload_sharded, ChannelSink, CollectingSink,
+        Decision, DecisionSink, EngineConfig, EngineOutcome, Event, EventQueue, HeavyTailedChurn,
+        HotspotDrift, IngestError, NullSink, RushHourBurst, ScenarioGenerator, ScenarioSpec,
+        Session, SessionSnapshot, ShardedEngineConfig, ShardedStreamEngine, StreamEngine,
+        UniformBaseline, Workload,
     };
 }
 

@@ -25,6 +25,7 @@ fn config() -> PipelineConfig {
 /// number of completed assignments for every non-predictive policy on both
 /// dataset presets.
 #[test]
+#[allow(deprecated)] // the deprecated legacy loop is the equivalence oracle
 fn engine_replay_equals_legacy_loop_on_both_presets() {
     let cfg = config();
     for spec in [
@@ -52,6 +53,7 @@ fn engine_replay_equals_legacy_loop_on_both_presets() {
 /// training is fully seeded, so training one per driver yields the same
 /// network and the comparison stays exact.
 #[test]
+#[allow(deprecated)] // the deprecated legacy loop is the equivalence oracle
 fn engine_replay_equals_legacy_loop_for_data_wa() {
     let cfg = config();
     let trace = SyntheticTrace::generate(TraceSpec::yueche().scaled(0.015));

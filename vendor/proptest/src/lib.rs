@@ -3,8 +3,9 @@
 //! The build environment has no crates.io access, so this vendored crate
 //! reimplements the slice of the proptest API the workspace's property tests
 //! use: [`Strategy`] with `prop_map`, range strategies over `f64`, tuple
-//! strategies, `prop::collection::vec`, `any::<bool>()`, [`ProptestConfig`]
-//! and the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//! strategies, `prop::collection::vec`, `any::<bool>()`, [`Just`] and the
+//! [`prop_oneof!`] union, [`ProptestConfig`] and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
 //! Differences from the real proptest: cases are sampled from a fixed seed
 //! (fully deterministic run-to-run) and failing cases are not shrunk — the
@@ -111,6 +112,61 @@ tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
 tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
 tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
 
+/// A strategy that always yields the same value (`proptest::strategy::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between strategies with a common value type (the
+/// expansion of [`prop_oneof!`]; the real proptest's weighted variant is not
+/// supported).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// An empty union; [`Union::or`] adds options.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Union<V> {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds one option.
+    #[must_use]
+    pub fn or(mut self, option: impl Strategy<Value = V> + 'static) -> Union<V> {
+        self.options.push(Box::new(option));
+        self
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.options.is_empty(), "prop_oneof! needs an option");
+        let pick = rng.uniform_usize(0, self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Uniform choice between strategies (`proptest::prop_oneof!`, without the
+/// weighted form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new()$(.or($strat))+
+    };
+}
+
 /// `any::<T>()` support.
 pub trait Arbitrary {
     /// Generates an arbitrary value of the type.
@@ -205,7 +261,8 @@ impl ProptestConfig {
 /// One-stop imports mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
     };
 }
 
