@@ -8,6 +8,7 @@
 //! at each time instance.
 
 use crate::config::AssignConfig;
+use crate::forecast::{ForecastProvider, ForecastStats, StaticForecast};
 use crate::planner::{Planner, SearchMode};
 use crate::tvf::{TaskValueFunction, TvfInference};
 use datawa_core::{
@@ -92,6 +93,13 @@ impl ArrivalEvent {
 }
 
 /// A predicted near-future task fed to the prediction-aware policies.
+///
+/// This is the *planning-facing* prediction record: the minimum the planner
+/// consumes (where and when demand is expected). The model-facing record —
+/// `datawa_predict::PredictedTask`, which additionally carries the grid cell
+/// and the model confidence — converts into this type through the `From`
+/// impl provided by `datawa-predict`; that impl is the single sanctioned
+/// conversion path between the two layers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictedTaskInput {
     /// Expected location.
@@ -143,6 +151,9 @@ pub struct RunOutcome {
     pub peak_partition_workers: usize,
     /// Largest number of pool threads any planning instant actually occupied.
     pub peak_pool_occupancy: usize,
+    /// Activity counters of the run's [`ForecastProvider`] (observations,
+    /// forecast queries, model refreshes).
+    pub forecast: ForecastStats,
 }
 
 /// The streaming adaptive runner (Algorithm 3).
@@ -174,6 +185,14 @@ struct WorkerRuntime {
     /// happened). For FTA this is the fixed sequence pinned once; for the
     /// adaptive policies it is overwritten at every planning instant.
     plan: TaskSequence,
+    /// When the worker's latest planned sequence *starts* with a predicted
+    /// (not yet published) task, the worker holds position for it until its
+    /// expected publication instant — this is task-demand prediction's
+    /// positioning mechanism: the planner reserved this worker for imminent
+    /// demand at its location, so dispatching it elsewhere would squander
+    /// the reservation. The hold is re-derived at every planning instant and
+    /// expires on its own if the prediction never materialises.
+    hold_until: Option<Timestamp>,
     /// Whether an FTA fixed plan has already been pinned for this worker (a
     /// worker receives its fixed sequence exactly once, at the first planning
     /// instant where it is idle and tasks are available).
@@ -222,10 +241,25 @@ impl AdaptiveRunner {
     /// itself (this is the entry point the `datawa-stream` discrete-event
     /// engine drives; [`AdaptiveRunner::run`] is a thin synchronous loop over
     /// the same state machine).
-    pub fn start<'a>(&'a self, predicted: &'a [PredictedTaskInput]) -> RunnerState<'a> {
+    ///
+    /// `forecast` is the run's demand-prediction source: every inserted task
+    /// is routed into it through [`ForecastProvider::observe`], and the
+    /// prediction-aware policies re-query [`ForecastProvider::forecast`] at
+    /// every planning instant. Wrap a precomputed slice in
+    /// [`StaticForecast`] to reproduce the pre-redesign fixed-oracle
+    /// behaviour bit for bit.
+    ///
+    /// The state is generic over the provider so `Send` providers yield
+    /// `Send` states (the sharded engine steps those on a thread pool);
+    /// `F = dyn ForecastProvider` (the default) erases the type for drivers
+    /// that do not care.
+    pub fn start<'a, F: ForecastProvider + ?Sized>(
+        &'a self,
+        forecast: &'a mut F,
+    ) -> RunnerState<'a, F> {
         RunnerState {
             runner: self,
-            predicted,
+            forecast,
             planner: self.planner(),
             workers: WorkerStore::new(),
             tasks: TaskStore::new(),
@@ -242,13 +276,15 @@ impl AdaptiveRunner {
     /// Runs the policy over a time-ordered arrival stream (the legacy
     /// synchronous driver: one time instance per arrival).
     ///
-    /// `predicted` holds the output of the demand-prediction component; it is
-    /// ignored by the policies that do not use prediction.
+    /// `predicted` holds the output of the demand-prediction component
+    /// (wrapped in a [`StaticForecast`] internally); it is ignored by the
+    /// policies that do not use prediction.
     pub fn run(&self, events: &[ArrivalEvent], predicted: &[PredictedTaskInput]) -> RunOutcome {
         let mut events: Vec<ArrivalEvent> = events.to_vec();
         events.sort_by(|a, b| datawa_core::time::cmp_timestamps(a.time(), b.time()));
 
-        let mut state = self.start(predicted);
+        let mut forecast = StaticForecast::from_slice(predicted);
+        let mut state = self.start(&mut forecast);
         for (event_index, event) in events.iter().enumerate() {
             let now = event.time();
             state.record_event();
@@ -267,20 +303,21 @@ impl AdaptiveRunner {
 
     /// Builds the temporary planning store of open real tasks plus (for the
     /// prediction-aware policies) predicted tasks inside the lookahead window.
-    /// Returns the store and a mapping from planning task id to the real task
-    /// id (`None` for predicted tasks).
+    /// Returns the store and a mapping from planning task id to what it
+    /// stands for (a real task, or a predicted one with its expected
+    /// publication).
     fn build_planning_store(
         &self,
         tasks: &TaskStore,
         open_tasks: &[TaskId],
         predicted: &[PredictedTaskInput],
         now: Timestamp,
-    ) -> (TaskStore, Vec<Option<TaskId>>) {
+    ) -> (TaskStore, Vec<PlanningEntry>) {
         let mut store = TaskStore::new();
         let mut mapping = Vec::new();
         for &tid in open_tasks {
             store.insert(*tasks.get(tid));
-            mapping.push(Some(tid));
+            mapping.push(PlanningEntry::Real(tid));
         }
         if self.policy.uses_prediction() {
             let horizon = now + self.prediction_lookahead;
@@ -288,12 +325,28 @@ impl AdaptiveRunner {
                 if p.publication.0 > now.0 && p.publication.0 <= horizon.0 && p.expiration.0 > now.0
                 {
                     store.insert_with_location(p.location, p.publication, p.expiration);
-                    mapping.push(None);
+                    mapping.push(PlanningEntry::Predicted {
+                        publication: p.publication,
+                    });
                 }
             }
         }
         (store, mapping)
     }
+}
+
+/// What a planning-store task id stands for once the plan is mapped back to
+/// the live world: an open real task, or a predicted (not yet published)
+/// task that can steer sequences but never be dispatched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PlanningEntry {
+    /// An open real task (dense id in the run's task store).
+    Real(TaskId),
+    /// A predicted task expected to publish at the carried instant.
+    Predicted {
+        /// Expected publication time of the predicted task.
+        publication: Timestamp,
+    },
 }
 
 /// The live state of one streaming run, exposed stepwise so that external
@@ -310,9 +363,9 @@ impl AdaptiveRunner {
 ///   skip them: the views also prune lazily);
 /// * **time instances** — [`RunnerState::step`], which optionally re-plans
 ///   (the batched-replan entry point) and then dispatches idle workers.
-pub struct RunnerState<'a> {
+pub struct RunnerState<'a, F: ForecastProvider + ?Sized = dyn ForecastProvider + 'a> {
     runner: &'a AdaptiveRunner,
-    predicted: &'a [PredictedTaskInput],
+    forecast: &'a mut F,
     planner: Planner,
     workers: WorkerStore,
     tasks: TaskStore,
@@ -325,7 +378,7 @@ pub struct RunnerState<'a> {
     outcome: RunOutcome,
 }
 
-impl RunnerState<'_> {
+impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
     /// Counts one arrival event in the outcome (drivers call this once per
     /// worker/task arrival so [`RunOutcome::events`] matches the legacy loop).
     #[inline]
@@ -371,17 +424,28 @@ impl RunnerState<'_> {
         self.runtime.push(WorkerRuntime {
             busy_until: Timestamp(f64::NEG_INFINITY),
             plan: TaskSequence::empty(),
+            hold_until: None,
             fixed_assigned: false,
         });
         self.available_view.insert(id);
         id
     }
 
-    /// Inserts an arriving task and returns its dense id.
+    /// Inserts an arriving task and returns its dense id. The arrival is
+    /// also routed into the run's [`ForecastProvider`] so an online
+    /// forecaster's occurrence history tracks the live stream (a no-op
+    /// beyond counting for [`StaticForecast`]).
     pub fn insert_task(&mut self, task: Task) -> TaskId {
+        self.forecast.observe(task.publication, &task);
         let id = self.tasks.insert(task);
         self.open_view.insert(id);
         id
+    }
+
+    /// Activity counters of the run's forecast provider so far.
+    #[inline]
+    pub fn forecast_stats(&self) -> ForecastStats {
+        self.forecast.stats()
     }
 
     /// Removes an expired task from the open view (`O(log n)`; called by
@@ -445,9 +509,19 @@ impl RunnerState<'_> {
             _ => replan,
         };
         if should_plan && !open_tasks.is_empty() {
-            let (planning_store, mapping) =
+            // Re-query the forecast at this planning instant (only the
+            // prediction-aware policies pay for it); the lookahead filtering
+            // below is unchanged from the fixed-slice era.
+            let (planning_store, mapping) = {
+                let predicted: &[PredictedTaskInput] = if policy.uses_prediction() {
+                    self.forecast
+                        .forecast(now, self.runner.prediction_lookahead)
+                } else {
+                    &[]
+                };
                 self.runner
-                    .build_planning_store(&self.tasks, &open_tasks, self.predicted, now);
+                    .build_planning_store(&self.tasks, &open_tasks, predicted, now)
+            };
             let planning_task_ids: Vec<TaskId> = planning_store.ids().collect();
             let planning_workers: Vec<WorkerId> = match policy {
                 PolicyKind::Fta => unfixed_idle.clone(),
@@ -497,7 +571,7 @@ impl RunnerState<'_> {
                         if let Some(seq) = assignment.get(wid) {
                             let mut fixed = TaskSequence::empty();
                             for planning_tid in seq.iter() {
-                                if let Some(real) = mapping[planning_tid.index()] {
+                                if let PlanningEntry::Real(real) = mapping[planning_tid.index()] {
                                     if !self.reserved_by_fta.contains(&real) {
                                         self.reserved_by_fta.insert(real);
                                         fixed.push(real);
@@ -511,20 +585,49 @@ impl RunnerState<'_> {
                         }
                     }
                 } else {
-                    // Refresh the persistent plan of every planned worker with
-                    // the real tasks of its new sequence (predicted tasks
-                    // guide the search but cannot be dispatched, so they are
-                    // filtered out here).
+                    // Refresh the persistent plan of every planned worker
+                    // with the real tasks of its new sequence. Predicted
+                    // tasks guide the search but cannot be dispatched — they
+                    // are filtered out of the plan, except that a sequence
+                    // *starting* with a predicted task pins a positioning
+                    // hold: the planner reserved this worker for demand
+                    // expected imminently at its location, so the worker
+                    // stays put until that expected publication instead of
+                    // being dispatched to whatever real task comes next in
+                    // the filtered plan.
                     for &wid in &planning_workers {
+                        let mut hold: Option<Timestamp> = None;
                         let mapped = assignment
                             .get(wid)
                             .map(|seq| {
-                                TaskSequence::from_ids(
-                                    seq.iter().filter_map(|tid| mapping[tid.index()]),
-                                )
+                                let mapped =
+                                    TaskSequence::from_ids(seq.iter().filter_map(
+                                        |tid| match mapping[tid.index()] {
+                                            PlanningEntry::Real(real) => Some(real),
+                                            PlanningEntry::Predicted { .. } => None,
+                                        },
+                                    ));
+                                // A *pure-phantom* plan reserves the worker
+                                // for imminent demand at its position: hold
+                                // it until the first expected publication.
+                                // Plans containing any real task dispatch
+                                // immediately — the weighted search already
+                                // guarantees predicted demand never displaced
+                                // real work in them.
+                                if mapped.is_empty() {
+                                    if let Some(first) = seq.first() {
+                                        if let PlanningEntry::Predicted { publication } =
+                                            mapping[first.index()]
+                                        {
+                                            hold = Some(publication);
+                                        }
+                                    }
+                                }
+                                mapped
                             })
                             .unwrap_or_else(TaskSequence::empty);
                         self.runtime[wid.index()].plan = mapped;
+                        self.runtime[wid.index()].hold_until = hold;
                     }
                 }
             }
@@ -533,6 +636,16 @@ impl RunnerState<'_> {
         // Dispatch (Algorithm 3, lines 10–14): every idle worker departs for
         // the first still-servable task of its current plan.
         for &wid in &idle_workers {
+            // A positioning hold keeps the worker in place for imminent
+            // predicted demand; it expires on its own at the expected
+            // publication (the next planning instant then re-plans the
+            // worker over whatever actually arrived).
+            if let Some(hold) = self.runtime[wid.index()].hold_until {
+                if now.0 < hold.0 {
+                    continue;
+                }
+                self.runtime[wid.index()].hold_until = None;
+            }
             // Drop plan entries that were served by someone else or have
             // already expired.
             let mut dispatch_target: Option<TaskId> = None;
@@ -585,6 +698,7 @@ impl RunnerState<'_> {
     /// Closes the run and returns the aggregated outcome.
     pub fn finish(self) -> RunOutcome {
         let mut outcome = self.outcome;
+        outcome.forecast = self.forecast.stats();
         outcome.mean_planning_seconds = if outcome.planning_calls == 0 {
             0.0
         } else {

@@ -13,6 +13,7 @@
 
 pub mod adaptive;
 pub mod config;
+pub mod forecast;
 pub mod partition;
 pub mod planner;
 pub mod pool;
@@ -26,6 +27,7 @@ pub use adaptive::{
     RunnerState,
 };
 pub use config::AssignConfig;
+pub use forecast::{ForecastProvider, ForecastStats, StaticForecast};
 pub use partition::{split_cluster_tree, Partition};
 pub use planner::{Planner, PlanningReport, SearchMode};
 pub use reachable::{build_worker_dependency_graph, reachable_tasks, ReachableSets};

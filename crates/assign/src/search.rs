@@ -40,6 +40,25 @@ pub struct DfSearch<'a> {
     now: Timestamp,
     sequences: &'a HashMap<WorkerId, SequenceSet>,
     reachable: &'a ReachableSets,
+    /// Objective weight of a *real* (already published) task relative to a
+    /// *predicted* (future-published) one at this planning instant.
+    ///
+    /// The planning store mixes both kinds for the prediction-aware
+    /// policies (§III-C, §IV-C); scoring them equally would let confident
+    /// phantoms displace real work one for one. The weight is
+    /// `tasks.len() + 1` — strictly larger than any plan's possible phantom
+    /// tally — so the weighted count is a true lexicographic objective even
+    /// when summed across a whole partition's plan: maximise real tasks
+    /// served first, and use predicted demand only to break ties (pure
+    /// positioning). Planning stores without predicted tasks score every
+    /// sequence at `weight × len`, so the argmax (and therefore every
+    /// non-predictive policy) is bit-identical to the unweighted count.
+    real_weight: usize,
+    /// Whether the planning store carries any predicted (future-published)
+    /// task at all. Phantom-free instants keep every pre-forecast code path
+    /// byte-identical (the guided search ranks purely by TVF value, exactly
+    /// as before the forecast redesign).
+    has_predicted: bool,
 }
 
 impl<'a> DfSearch<'a> {
@@ -52,6 +71,7 @@ impl<'a> DfSearch<'a> {
         sequences: &'a HashMap<WorkerId, SequenceSet>,
         reachable: &'a ReachableSets,
     ) -> DfSearch<'a> {
+        let has_predicted = tasks.iter().any(|t| t.publication.0 > now.0);
         DfSearch {
             workers,
             tasks,
@@ -59,6 +79,8 @@ impl<'a> DfSearch<'a> {
             now,
             sequences,
             reachable,
+            real_weight: tasks.len() + 1,
+            has_predicted,
         }
     }
 
@@ -115,6 +137,22 @@ impl<'a> DfSearch<'a> {
             &mut samples,
         );
         plan
+    }
+
+    /// Weighted objective contribution of one sequence: real tasks (already
+    /// published at the planning instant) count `real_weight`, predicted
+    /// tasks (publication still in the future) count 1 — see the field's
+    /// docs for why this makes the count lexicographic.
+    fn sequence_weight(&self, q: &TaskSequence) -> usize {
+        q.iter()
+            .map(|t| {
+                if self.tasks.get(t).publication.0 > self.now.0 {
+                    1
+                } else {
+                    self.real_weight
+                }
+            })
+            .sum()
     }
 
     fn node_workers(&self, tree: &ClusterTree, mapping: &[WorkerId], node: usize) -> Vec<WorkerId> {
@@ -178,7 +216,7 @@ impl<'a> DfSearch<'a> {
                 remaining.extend(tree.subtree_members(child).into_iter().map(|i| mapping[i]));
             }
             let plan = self.greedy_completion(&remaining, available);
-            let count = plan.iter().map(|(_, s)| s.len()).sum();
+            let count = plan.iter().map(|(_, s)| self.sequence_weight(s)).sum();
             return (count, plan);
         }
         *budget -= 1;
@@ -243,7 +281,7 @@ impl<'a> DfSearch<'a> {
                 for t in q.iter() {
                     available.insert(t);
                 }
-                let count = sub_count + q.len();
+                let count = sub_count + self.sequence_weight(q);
                 if let Some(out) = samples.as_deref_mut() {
                     out.push(SearchSample {
                         state,
@@ -254,7 +292,10 @@ impl<'a> DfSearch<'a> {
                             &self.config.travel,
                             self.now,
                         ),
-                        opt: count as f64,
+                        // Report `opt` in task units: training stores hold
+                        // only real tasks, so this is exactly the pre-weight
+                        // cumulative count.
+                        opt: count as f64 / self.real_weight as f64,
                     });
                 }
                 if count > best_count {
@@ -360,13 +401,28 @@ impl<'a> DfSearch<'a> {
         let rest = &pending[1..];
         let descendant_workers = self.descendant_worker_count(tree, node);
         let state = self.state_features(pending, descendant_workers, available);
-        let mut best: Option<(f64, &TaskSequence)> = None;
+        // When the planning store carries predicted tasks, rank candidates
+        // by real-task count first and TVF value second — the guided
+        // analogue of the exact search's lexicographic weighting: predicted
+        // tasks steer the choice among equally-real sequences but never
+        // displace real work. Phantom-free instants (every non-predictive
+        // policy, and prediction-aware ones whose current forecast is
+        // empty) rank purely by TVF value, exactly as before the forecast
+        // redesign.
+        let mut best: Option<(usize, f64, &TaskSequence)> = None;
         if let Some(sequence_set) = self.sequences.get(&worker) {
             let worker_record = self.workers.get(worker);
             for q in sequence_set.iter() {
                 if !q.iter().all(|t| available.contains(&t)) {
                     continue;
                 }
+                let real = if self.has_predicted {
+                    q.iter()
+                        .filter(|t| self.tasks.get(*t).publication.0 <= self.now.0)
+                        .count()
+                } else {
+                    0 // constant key: ranking falls through to the TVF value
+                };
                 let action = ActionFeatures::compute(
                     worker_record,
                     q,
@@ -375,12 +431,12 @@ impl<'a> DfSearch<'a> {
                     self.now,
                 );
                 let value = tvf.value(&state, &action);
-                if best.is_none_or(|(v, _)| value > v) {
-                    best = Some((value, q));
+                if best.is_none_or(|(r, v, _)| real > r || (real == r && value > v)) {
+                    best = Some((real, value, q));
                 }
             }
         }
-        if let Some((_, q)) = best {
+        if let Some((_, _, q)) = best {
             for t in q.iter() {
                 available.remove(&t);
             }
@@ -419,12 +475,30 @@ impl<'a> DfSearch<'a> {
         let mut plan = Vec::new();
         for &w in worker_ids {
             if let Some(sequence_set) = self.sequences.get(&w) {
-                // Sequences are sorted longest-first, so the first compatible
-                // one is the greedy choice.
-                if let Some(q) = sequence_set.iter().find(|q| {
+                // Sequences are sorted longest-first, so in a phantom-free
+                // store (every pre-forecast caller, including the Greedy
+                // policy) the first compatible one is the greedy choice and
+                // the scan can stop there. With predicted tasks in the
+                // store, rank compatible candidates by the lexicographic
+                // weight instead, so a budget-exhausted fallback can never
+                // hand a worker phantoms over real work.
+                let mut compatible = sequence_set.iter().filter(|q| {
                     q.iter()
                         .all(|t| available.contains(&t) && !taken.contains(&t))
-                }) {
+                });
+                let chosen: Option<&TaskSequence> = if !self.has_predicted {
+                    compatible.next()
+                } else {
+                    let mut best: Option<(usize, &TaskSequence)> = None;
+                    for q in compatible {
+                        let weight = self.sequence_weight(q);
+                        if best.is_none_or(|(bw, _)| weight > bw) {
+                            best = Some((weight, q));
+                        }
+                    }
+                    best.map(|(_, q)| q)
+                };
+                if let Some(q) = chosen {
                     for t in q.iter() {
                         taken.insert(t);
                     }

@@ -7,7 +7,7 @@
 //! front-end to be viable at traffic scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind};
+use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind, StaticForecast};
 use datawa_service::{DispatchService, IngestSource, ServiceConfig, SourcePoll, WorkloadSource};
 use datawa_sim::{SyntheticTrace, TraceSpec};
 use datawa_stream::{run_workload, CollectingSink, EngineConfig, NullSink, Session, Workload};
@@ -54,7 +54,8 @@ fn bench_session_paths(c: &mut Criterion) {
             &arrivals,
             |bench, _| {
                 bench.iter(|| {
-                    let mut session = Session::open(&runner, &[], config);
+                    let mut forecast = StaticForecast::default();
+                    let mut session = Session::open(&runner, &mut forecast, config);
                     let mut source = WorkloadSource::new(&workload);
                     while let SourcePoll::Ready(time, event) = source.poll() {
                         session.ingest(time, event).unwrap();
@@ -72,9 +73,10 @@ fn bench_session_paths(c: &mut Criterion) {
             &arrivals,
             |bench, _| {
                 bench.iter(|| {
+                    let mut forecast = StaticForecast::default();
                     let service = DispatchService::open(
                         &runner,
-                        &[],
+                        &mut forecast,
                         WorkloadSource::new(&workload),
                         CollectingSink::new(),
                         ServiceConfig {

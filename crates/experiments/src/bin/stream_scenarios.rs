@@ -12,6 +12,7 @@ use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind};
 use datawa_experiments::{format_table, ExperimentScale, Table};
 use datawa_stream::{
     builtin_scenarios, CollectingSink, Decision, EngineConfig, ScenarioSpec, Session,
+    StaticForecast,
 };
 
 fn main() {
@@ -48,7 +49,8 @@ fn main() {
                 // incremental decisions collected so unserved losses are
                 // reportable alongside the totals.
                 let mut sink = CollectingSink::new();
-                let mut session = Session::open(&runner, &[], engine_config);
+                let mut forecast = StaticForecast::default();
+                let mut session = Session::open(&runner, &mut forecast, engine_config);
                 session
                     .ingest_workload(&workload)
                     .expect("scenario workloads carry finite times");

@@ -18,11 +18,16 @@
 //! relative ordering of the methods.
 
 pub mod assignment;
+pub mod forecast;
 pub mod params;
 pub mod prediction;
 pub mod report;
 
 pub use assignment::{assignment_sweep, AssignmentRow, SweepAxis};
+pub use forecast::{
+    scenario_online_forecaster, scenario_online_vs_blind, scenario_prediction_report,
+    ForecastScenarioConfig, ScenarioAssignmentRow, ScenarioPredictionRow,
+};
 pub use params::{Dataset, ExperimentScale};
 pub use prediction::{prediction_effect_of_delta_t, PredictionRow};
 pub use report::{format_table, Table};

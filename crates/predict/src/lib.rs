@@ -18,9 +18,75 @@
 //! Predictions above a confidence threshold are converted into *predicted
 //! tasks* (located at the centre of their grid cell) that the assignment layer
 //! plans for ahead of time (DTA+TP and DATA-WA).
+//!
+//! ## Live forecasting
+//!
+//! Batch prediction over a whole trace is the evaluation path; production
+//! sessions forecast *live* through the [`ForecastProvider`] API (the trait
+//! lives in `datawa-assign`, the consumer layer; this crate re-exports it
+//! alongside the model-backed implementation). [`OnlineForecaster`] wraps
+//! any trained [`DemandPredictor`] over a [`UniformGrid`](datawa_geo::UniformGrid),
+//! maintains the
+//! per-cell occurrence series incrementally from the observed arrivals, and
+//! re-forecasts the current ΔT window on a configurable refresh cadence —
+//! so a long-lived dispatch session tracks demand drift instead of replaying
+//! a frozen whole-trace oracle. The worked example below trains a DDGNN on a
+//! historical prefix and then lets the forecaster take over online:
+//!
+//! ```
+//! use datawa_core::{BoundingBox, Duration, Location, Task, TaskId, Timestamp};
+//! use datawa_geo::{GridSpec, UniformGrid};
+//! use datawa_predict::{
+//!     DdgnnPredictor, DemandPredictor, ForecastProvider, OnlineForecastConfig,
+//!     OnlineForecaster, SeriesDataset, SeriesSpec, TrainingConfig,
+//! };
+//!
+//! // A historical prefix of task publications (here: one cell drumming
+//! // every ΔT) becomes the training series …
+//! let area = BoundingBox::new(Location::new(0.0, 0.0), Location::new(4.0, 4.0));
+//! let grid = UniformGrid::new(GridSpec::new(area, 2, 2));
+//! let spec = SeriesSpec::new(Timestamp(0.0), 5.0, 2, 2);
+//! let mut history = datawa_core::TaskStore::new();
+//! for t in 0..40 {
+//!     history.insert_with_location(
+//!         Location::new(1.0, 1.0),
+//!         Timestamp(t as f64 * 5.0),
+//!         Timestamp(t as f64 * 5.0 + 40.0),
+//!     );
+//! }
+//! let dataset = SeriesDataset::build(&history, &grid, spec, Timestamp(200.0));
+//! let mut model = DdgnnPredictor::with_defaults(grid.cell_count(), spec.k, 7);
+//! model.train(&dataset, &TrainingConfig { epochs: 2, learning_rate: 0.02 });
+//!
+//! // … and the trained model goes live: warm-start on the same prefix,
+//! // then observe arrivals / re-forecast as the session advances.
+//! let cell_buckets = grid.cell_count() * spec.k;
+//! let mut forecaster = OnlineForecaster::new(
+//!     Box::new(model),
+//!     grid,
+//!     spec,
+//!     OnlineForecastConfig { threshold: 0.2, ..OnlineForecastConfig::default() },
+//! );
+//! forecaster.warm_up(&history);
+//! let task = Task::new(TaskId(0), Location::new(1.0, 1.0), Timestamp(201.0), Timestamp(241.0));
+//! forecaster.observe(task.publication, &task);
+//! let predicted = forecaster.forecast(Timestamp(205.0), Duration(60.0));
+//! // The rollout covers every ΔT·k window the 60 s lookahead touches.
+//! assert!(predicted.len() <= 7 * cell_buckets);
+//! assert_eq!(forecaster.stats().refreshes, 1);
+//! ```
+//!
+//! A `datawa_stream::Session` (or the `datawa-service` pump) accepts the
+//! forecaster wherever it accepts a
+//! [`StaticForecast`]: pass `&mut forecaster`
+//! to `Session::open` and every ingested arrival flows into
+//! [`ForecastProvider::observe`] automatically while every planning instant
+//! of a prediction-aware policy re-queries
+//! [`ForecastProvider::forecast`].
 
 pub mod ddgnn;
 pub mod dependency;
+pub mod forecast;
 pub mod graph_wavenet;
 pub mod lstm;
 pub mod metrics;
@@ -30,12 +96,17 @@ pub mod trainer;
 
 pub use ddgnn::DdgnnPredictor;
 pub use dependency::DependencyLearner;
+pub use forecast::{OnlineForecastConfig, OnlineForecaster};
 pub use graph_wavenet::GraphWaveNetPredictor;
 pub use lstm::LstmPredictor;
 pub use metrics::{average_precision, precision_recall_at, PrPoint};
 pub use predicted::{predicted_tasks_from, PredictedTask};
 pub use series::{SeriesDataset, SeriesExample, SeriesSpec};
 pub use trainer::{DemandPredictor, EvaluationReport, TrainingConfig};
+
+// The forecast API surface, re-exported from the consumer layer so
+// prediction-side users need only this crate.
+pub use datawa_assign::{ForecastProvider, ForecastStats, StaticForecast};
 
 use datawa_tensor::Var;
 

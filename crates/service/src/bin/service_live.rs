@@ -11,7 +11,7 @@
 //! `service-smoke` step runs this under `timeout` and checks the
 //! `decisions=` line).
 
-use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind};
+use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind, StaticForecast};
 use datawa_service::{DispatchService, LiveSource, PumpStatus, ServiceConfig};
 use datawa_stream::{ChannelSink, Decision, RushHourBurst, ScenarioGenerator, ScenarioSpec};
 use std::sync::mpsc;
@@ -51,9 +51,10 @@ fn main() {
         (dispatches, expired, offline, first_dispatch)
     });
 
+    let mut forecast = StaticForecast::default();
     let mut service = DispatchService::open(
         &runner,
-        &[],
+        &mut forecast,
         LiveSource::new(&workload, 15.0),
         ChannelSink::new(tx),
         ServiceConfig::default(),

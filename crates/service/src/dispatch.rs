@@ -11,7 +11,7 @@
 //! inspection, or run to completion ([`DispatchService::run`]).
 
 use crate::source::{IngestSource, SourcePoll};
-use datawa_assign::{AdaptiveRunner, PredictedTaskInput};
+use datawa_assign::{AdaptiveRunner, ForecastProvider, ForecastStats};
 use datawa_core::Timestamp;
 use datawa_stream::{DecisionSink, EngineConfig, EngineOutcome, Session, SessionSnapshot};
 
@@ -52,6 +52,10 @@ pub struct ServiceStats {
     pub peak_pending: usize,
     /// Whether the source has been fully consumed.
     pub source_exhausted: bool,
+    /// Activity counters of the session's forecast provider (observations,
+    /// forecast queries, model refreshes) — live, so a dashboard polling
+    /// [`DispatchService::stats`] sees re-forecasts as they happen.
+    pub forecast: ForecastStats,
 }
 
 /// Outcome of one [`DispatchService::pump`] step.
@@ -88,10 +92,16 @@ pub struct DispatchService<'a, Src, Sink> {
 
 impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
     /// Opens a service over `runner`: a fresh session, an unread source.
+    ///
+    /// `forecast` is the session's demand-prediction source (see
+    /// [`Session::open`]): wrap a precomputed slice in
+    /// [`StaticForecast`](datawa_assign::StaticForecast) for the fixed
+    /// oracle, or pass an `OnlineForecaster` (from `datawa-predict`) to
+    /// re-forecast live as arrivals flow.
     #[must_use]
     pub fn open(
         runner: &'a AdaptiveRunner,
-        predicted: &'a [PredictedTaskInput],
+        forecast: &'a mut dyn ForecastProvider,
         source: Src,
         sink: Sink,
         config: ServiceConfig,
@@ -99,7 +109,7 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
         DispatchService {
             source,
             sink,
-            session: Session::open(runner, predicted, config.engine),
+            session: Session::open(runner, forecast, config.engine),
             config,
             stats: ServiceStats::default(),
             admitted_up_to: Timestamp(f64::NEG_INFINITY),
@@ -107,9 +117,13 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
         }
     }
 
-    /// Service counters so far.
+    /// Service counters so far, including the live forecast-provider
+    /// counters.
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        ServiceStats {
+            forecast: self.session.forecast_stats(),
+            ..self.stats
+        }
     }
 
     /// Mid-stream view of the session's live state.
@@ -173,6 +187,9 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
     pub fn finish(mut self) -> (EngineOutcome, ServiceStats, Sink) {
         self.stats.source_exhausted = self.source.remaining() == 0;
         let outcome = self.session.close(&mut self.sink);
+        // close() drains remaining events, which may observe more arrivals;
+        // the outcome carries the provider's final counters.
+        self.stats.forecast = outcome.run.forecast;
         (outcome, self.stats, self.sink)
     }
 }
@@ -181,7 +198,7 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
 mod tests {
     use super::*;
     use crate::source::{LiveSource, WorkloadSource};
-    use datawa_assign::{AssignConfig, PolicyKind};
+    use datawa_assign::{AssignConfig, PolicyKind, StaticForecast};
     use datawa_stream::{
         run_workload, CollectingSink, ScenarioGenerator, ScenarioSpec, UniformBaseline,
     };
@@ -197,9 +214,10 @@ mod tests {
         for policy in [PolicyKind::Greedy, PolicyKind::Fta, PolicyKind::Dta] {
             let r = runner(policy);
             let batch = run_workload(&r, &workload, &[], EngineConfig::default());
+            let mut forecast = StaticForecast::default();
             let service = DispatchService::open(
                 &r,
-                &[],
+                &mut forecast,
                 WorkloadSource::new(&workload),
                 CollectingSink::new(),
                 ServiceConfig::default(),
@@ -222,9 +240,10 @@ mod tests {
             max_pending: 8,
             ..ServiceConfig::default()
         };
+        let mut forecast = StaticForecast::default();
         let service = DispatchService::open(
             &r,
-            &[],
+            &mut forecast,
             WorkloadSource::new(&workload),
             CollectingSink::new(),
             tight,
@@ -270,9 +289,10 @@ mod tests {
         let batch = run_workload(&r, &workload, &[], config);
         assert_eq!(batch.run.assigned_tasks, 1, "the t=20 tick plans the task");
         // A 4 s pacing step lands the clock exactly on t=20.
+        let mut forecast = StaticForecast::default();
         let service = DispatchService::open(
             &r,
-            &[],
+            &mut forecast,
             LiveSource::new(&workload, 4.0),
             CollectingSink::new(),
             ServiceConfig {
@@ -290,9 +310,10 @@ mod tests {
         let workload =
             UniformBaseline::new(ScenarioSpec::small().with_tasks(150).with_workers(12)).generate();
         let r = runner(PolicyKind::Dta);
+        let mut forecast = StaticForecast::default();
         let service = DispatchService::open(
             &r,
-            &[],
+            &mut forecast,
             LiveSource::new(&workload, 30.0),
             CollectingSink::new(),
             ServiceConfig::default(),
@@ -313,9 +334,10 @@ mod tests {
         let workload =
             UniformBaseline::new(ScenarioSpec::small().with_tasks(120).with_workers(10)).generate();
         let r = runner(PolicyKind::Greedy);
+        let mut forecast = StaticForecast::default();
         let mut service = DispatchService::open(
             &r,
-            &[],
+            &mut forecast,
             LiveSource::new(&workload, 60.0),
             CollectingSink::new(),
             ServiceConfig::default(),

@@ -10,12 +10,17 @@
 //!   replays a pre-built workload in the engine's deterministic order;
 //!   [`LiveSource`] paces the same arrivals against a simulated wall clock,
 //!   so quiet periods (with their expirations and time-driven re-plans)
-//!   actually elapse between bursts.
+//!   actually elapse between bursts — and opts into *real* wall-clock
+//!   pacing with [`LiveSource::with_wall_clock`] for true real-time runs.
 //! * **[`DispatchService`]** — the pump: source → session → sink, with
 //!   bounded-queue backpressure (admission pauses and the session drains
 //!   when planning lags a burst by more than
 //!   [`ServiceConfig::max_pending`] events) and mid-stream
-//!   [`DispatchService::stats`] / [`DispatchService::snapshot`] inspection.
+//!   [`DispatchService::stats`] / [`DispatchService::snapshot`] inspection,
+//!   including the live forecast-provider counters
+//!   ([`ServiceStats::forecast`]) when the session runs over an online
+//!   demand forecaster instead of a fixed
+//!   [`StaticForecast`](datawa_assign::StaticForecast) oracle.
 //!
 //! Decisions leave through any [`DecisionSink`](datawa_stream::DecisionSink)
 //! — use a [`ChannelSink`](datawa_stream::ChannelSink) to stream them to a
@@ -24,7 +29,7 @@
 //! memory:
 //!
 //! ```
-//! use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind};
+//! use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind, StaticForecast};
 //! use datawa_service::{DispatchService, LiveSource, ServiceConfig};
 //! use datawa_stream::{CollectingSink, ScenarioGenerator, ScenarioSpec, UniformBaseline};
 //!
@@ -32,9 +37,10 @@
 //!     .generate();
 //! let runner = AdaptiveRunner::new(AssignConfig::default(), PolicyKind::Dta);
 //!
+//! let mut forecast = StaticForecast::default(); // DTA ignores predictions
 //! let service = DispatchService::open(
 //!     &runner,
-//!     &[],
+//!     &mut forecast,
 //!     LiveSource::new(&workload, 30.0), // 30 simulated seconds per quiet poll
 //!     CollectingSink::new(),
 //!     ServiceConfig::default(),

@@ -10,13 +10,14 @@
 
 use crate::datasets::SyntheticTrace;
 use datawa_assign::{
-    AdaptiveRunner, AssignConfig, Planner, PolicyKind, PredictedTaskInput, SearchMode,
-    TaskValueFunction,
+    AdaptiveRunner, AssignConfig, ForecastProvider, Planner, PolicyKind, PredictedTaskInput,
+    SearchMode, StaticForecast, TaskValueFunction,
 };
 use datawa_core::{Duration, TaskId, Timestamp, WorkerId};
 use datawa_geo::{GridSpec, UniformGrid};
 use datawa_predict::{
-    predicted_tasks_from, DemandPredictor, SeriesDataset, SeriesSpec, TrainingConfig,
+    predicted_tasks_from, DemandPredictor, OnlineForecastConfig, OnlineForecaster, SeriesDataset,
+    SeriesSpec, TrainingConfig,
 };
 use datawa_stream::{EngineConfig, NullSink, Session};
 use serde::Serialize;
@@ -102,6 +103,11 @@ pub struct PolicyRunSummary {
     pub total_cpu_seconds: f64,
     /// Number of arrival events processed.
     pub events: usize,
+    /// Model re-forecasts performed by the run's forecast provider (0 for
+    /// the static oracle and the prediction-blind policies).
+    pub forecast_refreshes: usize,
+    /// Arrivals observed by the forecast provider.
+    pub forecast_observed: usize,
 }
 
 /// Builds the prediction grid for a trace.
@@ -156,11 +162,7 @@ pub fn run_prediction(
             Duration(trace.spec.valid_time),
             config.prediction_threshold,
         );
-        predicted.extend(tasks.into_iter().map(|p| PredictedTaskInput {
-            location: p.location,
-            publication: p.publication,
-            expiration: p.expiration,
-        }));
+        predicted.extend(tasks.into_iter().map(PredictedTaskInput::from));
     }
     (
         PredictionRunSummary {
@@ -224,6 +226,8 @@ fn summarize(policy: PolicyKind, outcome: &datawa_assign::RunOutcome) -> PolicyR
         mean_cpu_seconds: outcome.mean_planning_seconds,
         total_cpu_seconds: outcome.total_planning_seconds,
         events: outcome.events,
+        forecast_refreshes: outcome.forecast.refreshes,
+        forecast_observed: outcome.forecast.observed,
     }
 }
 
@@ -242,17 +246,71 @@ pub fn run_policy(
     tvf: Option<TaskValueFunction>,
     config: &PipelineConfig,
 ) -> PolicyRunSummary {
+    let mut forecast = StaticForecast::from_slice(predicted);
+    run_policy_with_forecast(trace, policy, &mut forecast, tvf, config)
+}
+
+/// [`run_policy`] over a live [`ForecastProvider`] instead of a fixed
+/// prediction slice: the session routes every replayed arrival into
+/// `forecast` and the prediction-aware policies re-query it at every
+/// planning instant. Pair with [`online_forecaster`] to drive DTA+TP /
+/// DATA-WA from a model that re-forecasts as the trace streams.
+pub fn run_policy_with_forecast(
+    trace: &SyntheticTrace,
+    policy: PolicyKind,
+    forecast: &mut dyn ForecastProvider,
+    tvf: Option<TaskValueFunction>,
+    config: &PipelineConfig,
+) -> PolicyRunSummary {
     let runner = build_runner(trace, policy, tvf, config);
     let engine_config = EngineConfig {
         replan_interval: config.replan_interval,
         ..EngineConfig::replay_compat(config.replan_every)
     };
-    let mut session = Session::open(&runner, predicted, engine_config);
+    let mut session = Session::open(&runner, forecast, engine_config);
     session
         .ingest_workload(&trace.workload())
         .expect("replay workloads carry finite times");
     let outcome = session.close(&mut NullSink);
     summarize(policy, &outcome.run)
+}
+
+/// Builds an [`OnlineForecaster`] for `trace`: trains `model` on the task
+/// series of the historical hour (`[-history, 0)`), then wraps it over the
+/// trace's prediction grid, warm-started on the same historical tasks, with
+/// the pipeline's threshold, the trace's task valid time and the given
+/// refresh cadence (simulated seconds between re-forecasts).
+pub fn online_forecaster(
+    trace: &SyntheticTrace,
+    mut model: Box<dyn DemandPredictor>,
+    config: &PipelineConfig,
+    refresh_every: f64,
+) -> OnlineForecaster {
+    let grid = prediction_grid(trace, config);
+    let spec = SeriesSpec::new(
+        Timestamp(-trace.spec.history),
+        config.delta_t,
+        config.k,
+        config.history_len,
+    );
+    // Train on the historical hour only — the evaluation horizon stays
+    // unseen and is forecast online as it streams.
+    let history_series = SeriesDataset::build(&trace.history_tasks, &grid, spec, Timestamp(0.0));
+    if !history_series.is_empty() {
+        model.train(&history_series, &config.training);
+    }
+    let mut forecaster = OnlineForecaster::new(
+        model,
+        grid,
+        spec,
+        OnlineForecastConfig {
+            threshold: config.prediction_threshold,
+            valid_time: trace.spec.valid_time,
+            refresh_every,
+        },
+    );
+    forecaster.warm_up(&trace.history_tasks);
+    forecaster
 }
 
 /// Runs one assignment policy through the legacy synchronous
@@ -373,6 +431,37 @@ mod tests {
                 assert_eq!(engine.events, legacy.events);
             }
         }
+    }
+
+    #[test]
+    fn online_forecaster_drives_a_policy_run_and_refreshes_mid_stream() {
+        let trace = tiny_trace();
+        let config = tiny_config();
+        let mut forecaster = online_forecaster(
+            &trace,
+            Box::new(LstmPredictor::new(config.k, 6, 0)),
+            &config,
+            120.0,
+        );
+        let summary =
+            run_policy_with_forecast(&trace, PolicyKind::DtaTp, &mut forecaster, None, &config);
+        assert_eq!(summary.policy, "DTA+TP");
+        assert!(summary.assigned_tasks <= trace.tasks.len());
+        assert!(
+            summary.forecast_refreshes > 1,
+            "the online provider must re-forecast as the trace streams \
+             (got {} refreshes)",
+            summary.forecast_refreshes
+        );
+        assert_eq!(
+            summary.forecast_observed,
+            trace.history_tasks.len() + trace.tasks.len(),
+            "warm-up plus every replayed arrival reaches the provider"
+        );
+        // A static run of the same policy observes arrivals but never
+        // refreshes.
+        let static_run = run_policy(&trace, PolicyKind::DtaTp, &[], None, &config);
+        assert_eq!(static_run.forecast_refreshes, 0);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use crate::event::{Event, EventQueue};
 use crate::scenario::Workload;
 use crate::session::{DecisionSink, NullSink, Session};
-use datawa_assign::{AdaptiveRunner, PredictedTaskInput, RunOutcome};
+use datawa_assign::{
+    AdaptiveRunner, ForecastProvider, PredictedTaskInput, RunOutcome, StaticForecast,
+};
 use datawa_core::Timestamp;
 
 /// Engine knobs: when to re-plan and what happens when a worker leaves.
@@ -180,7 +182,11 @@ impl StreamEngine {
     ///
     /// This is now a thin wrapper over the open-loop [`Session`] API — open,
     /// ingest everything, drain — with a sink that drops the incremental
-    /// decisions; callers that want them drive a [`Session`] directly (or use
+    /// decisions and the precomputed `predicted` slice wrapped in a
+    /// [`StaticForecast`] (the fixed-oracle bridge); callers that want live
+    /// re-forecasting pass a provider to
+    /// [`StreamEngine::run_with_forecast`], and callers that want the
+    /// decisions drive a [`Session`] directly (or use
     /// [`StreamEngine::run_with_sink`]).
     pub fn run(
         &mut self,
@@ -201,8 +207,24 @@ impl StreamEngine {
         predicted: &[PredictedTaskInput],
         sink: &mut dyn DecisionSink,
     ) -> EngineOutcome {
+        let mut forecast = StaticForecast::from_slice(predicted);
+        self.run_with_forecast(runner, &mut forecast, sink)
+    }
+
+    /// The forecast-native batch entry point: drains the queue through a
+    /// session whose predictions come from `forecast` — re-queried at every
+    /// planning instant and fed every task arrival — emitting incremental
+    /// [`Decision`]s to `sink`.
+    ///
+    /// [`Decision`]: crate::Decision
+    pub fn run_with_forecast(
+        &mut self,
+        runner: &AdaptiveRunner,
+        forecast: &mut dyn ForecastProvider,
+        sink: &mut dyn DecisionSink,
+    ) -> EngineOutcome {
         self.stats = EngineStats::default();
-        let mut session = Session::open(runner, predicted, self.config);
+        let mut session = Session::open(runner, forecast, self.config);
         while let Some(scheduled) = self.queue.pop() {
             session
                 .ingest(scheduled.time, scheduled.event)
@@ -225,7 +247,8 @@ pub(crate) fn arrival_triggers_replan(config: &EngineConfig, arrivals_seen: usiz
     n > 0 && arrivals_seen.is_multiple_of(n)
 }
 
-/// One-shot convenience: build an engine, load `workload`, run `runner`.
+/// One-shot convenience: build an engine, load `workload`, run `runner` with
+/// the precomputed `predicted` slice as a fixed [`StaticForecast`] oracle.
 pub fn run_workload(
     runner: &AdaptiveRunner,
     workload: &Workload,
@@ -235,4 +258,18 @@ pub fn run_workload(
     let mut engine = StreamEngine::new(config);
     engine.load(workload);
     engine.run(runner, predicted)
+}
+
+/// One-shot convenience for live forecasting: build an engine, load
+/// `workload`, run `runner` with predictions re-queried from `forecast` at
+/// every planning instant.
+pub fn run_workload_forecast(
+    runner: &AdaptiveRunner,
+    workload: &Workload,
+    forecast: &mut dyn ForecastProvider,
+    config: EngineConfig,
+) -> EngineOutcome {
+    let mut engine = StreamEngine::new(config);
+    engine.load(workload);
+    engine.run_with_forecast(runner, forecast, &mut NullSink)
 }

@@ -61,6 +61,37 @@
 //! long-running service loop built on top of sessions (sources, pacing,
 //! backpressure) lives in the `datawa-service` crate.
 //!
+//! ## Live forecasting
+//!
+//! Sessions no longer bake in a fixed prediction slice: [`Session::open`]
+//! takes a [`ForecastProvider`] — the pluggable demand-forecast API from
+//! `datawa-assign`. Every ingested [`Event::TaskArrival`] is routed into
+//! the provider ([`ForecastProvider::observe`]) and the prediction-aware
+//! policies (DTA+TP, DATA-WA) re-query [`ForecastProvider::forecast`] at
+//! every planning instant, so a long-lived session can track demand drift
+//! instead of replaying a whole-trace oracle. [`StaticForecast`] wraps a
+//! precomputed slice and reproduces the pre-redesign engine bit for bit
+//! (every equivalence pin in the workspace runs through it); the
+//! model-backed `OnlineForecaster` in `datawa-predict` maintains rolling
+//! per-cell occurrence series and re-forecasts on a refresh cadence — hand
+//! it to a session exactly like the static bridge:
+//!
+//! ```text
+//! let mut forecaster = OnlineForecaster::new(model, grid, spec, config);
+//! let mut session = Session::open(&runner, &mut forecaster, EngineConfig::default());
+//! // … ingest / advance_to: arrivals flow into the forecaster, planning
+//! // instants re-query it, and Session::snapshot().forecast exposes the
+//! // live observe/refresh counters.
+//! ```
+//!
+//! (A compilable end-to-end example lives in the `datawa-predict` crate
+//! docs, which own the model side.) The sharded engine keeps one provider
+//! per shard — arrivals observe into the shard that owns their location —
+//! and merges the per-shard counters deterministically in ascending shard
+//! index into the aggregate `run.forecast`; [`run_workload_forecast`] and
+//! [`StreamEngine::run_with_forecast`] are the batch conveniences over the
+//! same API.
+//!
 //! ## Replay compatibility
 //!
 //! [`EngineConfig::replay_compat`] reproduces the legacy
@@ -85,7 +116,9 @@ pub mod scenario;
 pub mod session;
 pub mod shard;
 
-pub use engine::{run_workload, EngineConfig, EngineOutcome, EngineStats, StreamEngine};
+pub use engine::{
+    run_workload, run_workload_forecast, EngineConfig, EngineOutcome, EngineStats, StreamEngine,
+};
 pub use event::{Event, EventQueue, ScheduledEvent};
 pub use scenario::{
     builtin_scenarios, HeavyTailedChurn, HotspotDrift, RushHourBurst, ScenarioGenerator,
@@ -98,6 +131,11 @@ pub use session::{
 pub use shard::{
     run_workload_sharded, ShardRouting, ShardedEngineConfig, ShardedOutcome, ShardedStreamEngine,
 };
+
+// The forecast API surface, re-exported from the consumer layer so session
+// drivers need only this crate (the model-backed `OnlineForecaster` lives in
+// `datawa-predict`).
+pub use datawa_assign::{ForecastProvider, ForecastStats, StaticForecast};
 
 #[cfg(test)]
 mod tests {

@@ -2,7 +2,7 @@
 //! assignment decisions.
 //!
 //! [`Session`] is the engine's primary entry point. Where the historical
-//! batch driver required the full [`Workload`](crate::Workload) up front and
+//! batch driver required the full [`Workload`] up front and
 //! blocked until the queue drained, a session stays open: the caller ingests
 //! events as they arrive ([`Session::ingest`]), advances simulated time in
 //! increments ([`Session::advance_to`]), inspects the live state mid-stream
@@ -26,7 +26,7 @@
 use crate::engine::{arrival_triggers_replan, EngineConfig, EngineOutcome, EngineStats};
 use crate::event::{Event, EventQueue, ScheduledEvent};
 use crate::scenario::Workload;
-use datawa_assign::{AdaptiveRunner, PredictedTaskInput, RunnerState};
+use datawa_assign::{AdaptiveRunner, ForecastProvider, ForecastStats, RunnerState};
 use datawa_core::{Duration, TaskId, Timestamp, WorkerId};
 use std::sync::mpsc::Sender;
 
@@ -231,19 +231,23 @@ pub struct SessionSnapshot {
     pub assigned_tasks: usize,
     /// Events processed so far (arrivals + lifecycle + ticks).
     pub events_processed: usize,
+    /// Activity counters of the session's [`ForecastProvider`]
+    /// (observations, forecast queries, model refreshes).
+    pub forecast: ForecastStats,
 }
 
 /// An open streaming run: the session owns the event queue and the runner
 /// state, and the caller controls time.
 ///
 /// ```
-/// use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind};
+/// use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind, StaticForecast};
 /// use datawa_core::{Location, Task, TaskId, Timestamp, Worker, WorkerId};
 /// use datawa_stream::{CollectingSink, EngineConfig, Event, Session};
 ///
 /// let runner = AdaptiveRunner::new(AssignConfig::unit_speed(), PolicyKind::Dta);
 /// let mut sink = CollectingSink::new();
-/// let mut session = Session::open(&runner, &[], EngineConfig::default());
+/// let mut forecast = StaticForecast::default(); // no predictions for DTA
+/// let mut session = Session::open(&runner, &mut forecast, EngineConfig::default());
 ///
 /// let w = Worker::new(WorkerId(0), Location::new(0.0, 0.0), 5.0, Timestamp(0.0), Timestamp(100.0));
 /// let t = Task::new(TaskId(0), Location::new(1.0, 0.0), Timestamp(1.0), Timestamp(50.0));
@@ -256,10 +260,10 @@ pub struct SessionSnapshot {
 /// let outcome = session.close(&mut sink);
 /// assert_eq!(outcome.run.assigned_tasks, 1);
 /// ```
-pub struct Session<'a> {
+pub struct Session<'a, F: ForecastProvider + ?Sized = dyn ForecastProvider + 'a> {
     config: EngineConfig,
     queue: EventQueue,
-    state: RunnerState<'a>,
+    state: RunnerState<'a, F>,
     stats: EngineStats,
     arrivals_seen: usize,
     watermark: Timestamp,
@@ -270,8 +274,16 @@ pub struct Session<'a> {
     dispatches_emitted: usize,
 }
 
-impl<'a> Session<'a> {
+impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
     /// Opens a session over `runner`.
+    ///
+    /// `forecast` is the session's demand-prediction source: every task
+    /// arrival processed by the session is routed into it
+    /// ([`ForecastProvider::observe`]) and the prediction-aware policies
+    /// re-query it at every planning instant. Wrap a precomputed slice in
+    /// [`StaticForecast`](datawa_assign::StaticForecast) for the
+    /// pre-redesign fixed-oracle behaviour (bit-identical), or pass an
+    /// `OnlineForecaster` (from `datawa-predict`) for live re-forecasting.
     ///
     /// Panics on a non-positive or non-finite
     /// [`EngineConfig::replan_interval`] for the same reason
@@ -279,9 +291,9 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn open(
         runner: &'a AdaptiveRunner,
-        predicted: &'a [PredictedTaskInput],
+        forecast: &'a mut F,
         config: EngineConfig,
-    ) -> Session<'a> {
+    ) -> Session<'a, F> {
         if let Some(dt) = config.replan_interval {
             assert!(
                 dt.is_finite() && dt > 0.0,
@@ -291,7 +303,7 @@ impl<'a> Session<'a> {
         Session {
             config,
             queue: EventQueue::new(),
-            state: runner.start(predicted),
+            state: runner.start(forecast),
             stats: EngineStats::default(),
             arrivals_seen: 0,
             watermark: Timestamp(f64::NEG_INFINITY),
@@ -339,7 +351,14 @@ impl<'a> Session<'a> {
             available_workers: self.state.available_candidates(),
             assigned_tasks: self.state.assigned_so_far(),
             events_processed: self.stats.events_processed,
+            forecast: self.state.forecast_stats(),
         }
+    }
+
+    /// Activity counters of the session's forecast provider so far.
+    #[inline]
+    pub fn forecast_stats(&self) -> ForecastStats {
+        self.state.forecast_stats()
     }
 
     /// Number of candidate open tasks currently tracked (the demand signal
@@ -546,7 +565,7 @@ impl<'a> Session<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use datawa_assign::{AssignConfig, PolicyKind};
+    use datawa_assign::{AssignConfig, PolicyKind, StaticForecast};
     use datawa_core::{Location, Task, Worker};
 
     fn worker(x: f64, on: f64, off: f64, d: f64) -> Worker {
@@ -571,7 +590,8 @@ mod tests {
     fn decisions_stream_out_as_time_advances() {
         let r = runner(PolicyKind::Dta);
         let mut sink = CollectingSink::new();
-        let mut session = Session::open(&r, &[], EngineConfig::default());
+        let mut forecast = StaticForecast::default();
+        let mut session = Session::open(&r, &mut forecast, EngineConfig::default());
         session
             .ingest(
                 Timestamp(0.0),
@@ -606,8 +626,9 @@ mod tests {
     fn unserved_expiration_is_reported_as_a_decision() {
         let r = runner(PolicyKind::Dta);
         let mut sink = CollectingSink::new();
+        let mut forecast = StaticForecast::default();
         let session = {
-            let mut s = Session::open(&r, &[], EngineConfig::ticked(100.0));
+            let mut s = Session::open(&r, &mut forecast, EngineConfig::ticked(100.0));
             s.ingest(
                 Timestamp(0.0),
                 Event::WorkerOnline(worker(0.0, 0.0, 50.0, 5.0)),
@@ -630,7 +651,8 @@ mod tests {
     fn ingest_rejects_times_behind_the_watermark() {
         let r = runner(PolicyKind::Greedy);
         let mut sink = NullSink;
-        let mut session = Session::open(&r, &[], EngineConfig::default());
+        let mut forecast = StaticForecast::default();
+        let mut session = Session::open(&r, &mut forecast, EngineConfig::default());
         session.advance_to(Timestamp(10.0), &mut sink);
         let err = session
             .ingest(Timestamp(5.0), Event::TaskArrival(task(0.0, 5.0, 20.0)))
@@ -650,7 +672,8 @@ mod tests {
     fn snapshot_tracks_live_state() {
         let r = runner(PolicyKind::Dta);
         let mut sink = NullSink;
-        let mut session = Session::open(&r, &[], EngineConfig::default());
+        let mut forecast = StaticForecast::default();
+        let mut session = Session::open(&r, &mut forecast, EngineConfig::default());
         session
             .ingest(
                 Timestamp(0.0),
@@ -675,7 +698,8 @@ mod tests {
         // work and advancing again must restart time-driven planning.
         let r = runner(PolicyKind::Dta);
         let mut sink = NullSink;
-        let mut session = Session::open(&r, &[], EngineConfig::ticked(2.0));
+        let mut forecast = StaticForecast::default();
+        let mut session = Session::open(&r, &mut forecast, EngineConfig::ticked(2.0));
         session
             .ingest(
                 Timestamp(0.0),
@@ -702,6 +726,51 @@ mod tests {
     }
 
     #[test]
+    fn channel_sink_counts_post_disconnect_decisions_and_closes_cleanly() {
+        // A consumer hanging up mid-run must not fail the session: every
+        // decision made after the disconnect is counted as undeliverable,
+        // none are silently lost, and close() still drains to completion.
+        let r = runner(PolicyKind::Dta);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut sink = ChannelSink::new(tx);
+        let mut forecast = StaticForecast::default();
+        let mut session = Session::open(&r, &mut forecast, EngineConfig::default());
+        session
+            .ingest(
+                Timestamp(0.0),
+                Event::WorkerOnline(worker(0.0, 0.0, 100.0, 5.0)),
+            )
+            .unwrap();
+        session
+            .ingest(Timestamp(1.0), Event::TaskArrival(task(0.5, 1.0, 50.0)))
+            .unwrap();
+        session.advance_to(Timestamp(1.0), &mut sink);
+        let delivered = sink.sent();
+        assert_eq!(delivered, 1, "first dispatch reached the live consumer");
+        assert_eq!(rx.try_iter().count(), 1);
+
+        // The consumer goes away; the rest of the run keeps deciding.
+        drop(rx);
+        session
+            .ingest(Timestamp(10.0), Event::TaskArrival(task(1.5, 10.0, 60.0)))
+            .unwrap();
+        session
+            .ingest(Timestamp(20.0), Event::TaskArrival(task(2.5, 20.0, 70.0)))
+            .unwrap();
+        let outcome = session.close(&mut sink);
+        assert_eq!(outcome.run.assigned_tasks, 3, "session closed cleanly");
+        assert_eq!(sink.sent(), delivered, "nothing delivered after hang-up");
+        // Post-disconnect decisions: 2 dispatches + 1 worker-offline + any
+        // unserved expirations; every one of them lands in the undeliverable
+        // counter, so sent + undeliverable covers the full decision stream.
+        assert_eq!(
+            sink.undeliverable(),
+            2 + 1 + outcome.stats.expired_open,
+            "every post-disconnect decision was counted"
+        );
+    }
+
+    #[test]
     fn explicit_replan_tick_is_one_shot() {
         let r = runner(PolicyKind::Dta);
         let mut sink = CollectingSink::new();
@@ -711,7 +780,8 @@ mod tests {
             replan_interval: None,
             release_on_offline: true,
         };
-        let mut session = Session::open(&r, &[], config);
+        let mut forecast = StaticForecast::default();
+        let mut session = Session::open(&r, &mut forecast, config);
         session
             .ingest(
                 Timestamp(0.0),

@@ -30,7 +30,9 @@ use crate::engine::{EngineConfig, EngineStats};
 use crate::event::{Event, EventQueue};
 use crate::scenario::Workload;
 use crate::session::{NullSink, Session};
-use datawa_assign::{pool, AdaptiveRunner, PredictedTaskInput, RunOutcome};
+use datawa_assign::{
+    pool, AdaptiveRunner, ForecastProvider, PredictedTaskInput, RunOutcome, StaticForecast,
+};
 use datawa_core::Duration;
 use datawa_geo::ShardMap;
 
@@ -134,8 +136,6 @@ impl ShardedStreamEngine {
         runner: &AdaptiveRunner,
         predicted: &[PredictedTaskInput],
     ) -> ShardedOutcome {
-        self.stats = EngineStats::default();
-        self.queue.reset_peak();
         let shard_count = self.map.shard_count();
         // Route predicted tasks like real arrivals: each goes only to the
         // shard owning its expected location, so predicted demand near a
@@ -145,15 +145,72 @@ impl ShardedStreamEngine {
         for p in predicted {
             predicted_by_shard[self.map.shard_of(&p.location).index()].push(*p);
         }
+        let mut forecasts: Vec<StaticForecast> = predicted_by_shard
+            .into_iter()
+            .map(StaticForecast::new)
+            .collect();
+        // Static providers are `Send`, so tick stepping fans out to the
+        // planner pool exactly as before the forecast redesign.
+        let providers: Vec<&mut StaticForecast> = forecasts.iter_mut().collect();
+        self.run_spine(runner, providers, step_shards_parallel)
+    }
+
+    /// [`ShardedStreamEngine::run`] with one live [`ForecastProvider`] per
+    /// shard (`forecasts.len()` must equal the shard count). Each shard's
+    /// session routes its own arrivals into its own provider — shard-local
+    /// occurrence histories — and re-queries it at that shard's planning
+    /// instants; the providers' counters are merged into the aggregate
+    /// outcome (`run.forecast`) in ascending shard (cell-band) index.
+    ///
+    /// Live model-backed providers are not thread-safe (the tensor substrate
+    /// is `Rc`-based), so this path steps shards *sequentially* at global
+    /// replan ticks — same deterministic order and results as a one-thread
+    /// pool; the static path ([`ShardedStreamEngine::run`]) keeps the
+    /// parallel fan-out.
+    ///
+    /// Panics if `forecasts.len()` differs from the map's shard count.
+    pub fn run_with_forecasts(
+        &mut self,
+        runner: &AdaptiveRunner,
+        forecasts: &mut [Box<dyn ForecastProvider>],
+    ) -> ShardedOutcome {
+        assert_eq!(
+            forecasts.len(),
+            self.map.shard_count(),
+            "one forecast provider per shard is required"
+        );
+        let providers: Vec<&mut dyn ForecastProvider> =
+            forecasts.iter_mut().map(|f| f.as_mut()).collect();
+        self.run_spine(runner, providers, step_shards_sequential)
+    }
+
+    /// The shared spine loop: one open session per shard, each borrowing its
+    /// shard-local forecast provider. `tick` steps every shard session at a
+    /// global replan instant (parallel for `Send` providers, sequential
+    /// otherwise — identical results either way, pinned by the
+    /// thread-determinism tests).
+    fn run_spine<'a, F, S>(
+        &mut self,
+        runner: &'a AdaptiveRunner,
+        forecasts: Vec<&'a mut F>,
+        tick: S,
+    ) -> ShardedOutcome
+    where
+        F: ForecastProvider + ?Sized,
+        S: Fn(usize, &mut [Session<'a, F>], datawa_core::Timestamp),
+    {
+        self.stats = EngineStats::default();
+        self.queue.reset_peak();
+        let shard_count = self.map.shard_count();
         // Per-shard sessions plan arrival-driven; the global tick chain is
         // owned by the spine loop, which steps every shard at once.
         let shard_config = EngineConfig {
             replan_interval: None,
             ..self.config.engine
         };
-        let mut sessions: Vec<Session> = predicted_by_shard
-            .iter()
-            .map(|pred| Session::open(runner, pred, shard_config))
+        let mut sessions: Vec<Session<'a, F>> = forecasts
+            .into_iter()
+            .map(|forecast| Session::open(runner, forecast, shard_config))
             .collect();
         let mut routing = vec![ShardRouting::default(); shard_count];
         let mut boundary_workers = 0usize;
@@ -213,14 +270,10 @@ impl ShardedStreamEngine {
                 Event::ReplanTick => {
                     self.stats.replan_ticks += 1;
                     // All shards re-plan at the same instant; their sessions
-                    // are independent, so fan the steps out to the pool.
-                    // Each shard first fires its own lifecycle events due by
-                    // `now`, then force-replans.
-                    pool::scatter_mut(threads, &mut sessions, |_, session| {
-                        let mut sink = NullSink;
-                        session.advance_to(now, &mut sink);
-                        session.force_replan(now, &mut sink);
-                    });
+                    // are independent, so the stepper may fan them out to
+                    // the pool. Each shard first fires its own lifecycle
+                    // events due by `now`, then force-replans.
+                    tick(threads, &mut sessions, now);
                     if let Some(dt) = self.config.engine.replan_interval {
                         if !self.queue.is_empty() {
                             self.queue.push(now + Duration(dt), Event::ReplanTick);
@@ -262,6 +315,8 @@ impl ShardedStreamEngine {
             total.peak_partition_workers =
                 total.peak_partition_workers.max(o.peak_partition_workers);
             total.peak_pool_occupancy = total.peak_pool_occupancy.max(o.peak_pool_occupancy);
+            // Shard index order == row-band order: a deterministic merge.
+            total.forecast = total.forecast.merged(o.forecast);
         }
         total.mean_planning_seconds = if total.planning_calls == 0 {
             0.0
@@ -278,6 +333,37 @@ impl ShardedStreamEngine {
             routing,
             boundary_workers,
         }
+    }
+}
+
+/// Steps every shard session at a global replan tick on the planner pool
+/// (sound because shard sessions share nothing mutable and their `Send`
+/// providers travel with them).
+fn step_shards_parallel<F: ForecastProvider + Send>(
+    threads: usize,
+    sessions: &mut [Session<'_, F>],
+    now: datawa_core::Timestamp,
+) {
+    pool::scatter_mut(threads, sessions, |_, session| {
+        let mut sink = NullSink;
+        session.advance_to(now, &mut sink);
+        session.force_replan(now, &mut sink);
+    });
+}
+
+/// Sequential tick stepping, in ascending shard index — the fallback for
+/// providers that are not `Send` (live model-backed forecasters). Produces
+/// the same results as the parallel stepper (shard sessions are
+/// independent), just without the fan-out.
+fn step_shards_sequential<F: ForecastProvider + ?Sized>(
+    _threads: usize,
+    sessions: &mut [Session<'_, F>],
+    now: datawa_core::Timestamp,
+) {
+    for session in sessions.iter_mut() {
+        let mut sink = NullSink;
+        session.advance_to(now, &mut sink);
+        session.force_replan(now, &mut sink);
     }
 }
 
@@ -300,6 +386,7 @@ mod tests {
     use super::*;
     use crate::engine::run_workload;
     use crate::scenario::{builtin_scenarios, ScenarioGenerator, ScenarioSpec, UniformBaseline};
+    use datawa_assign::ForecastStats;
     use datawa_assign::{AssignConfig, PolicyKind};
     use datawa_core::location::BoundingBox;
     use datawa_core::Location;
@@ -417,6 +504,71 @@ mod tests {
         // Hand-off picked exactly one shard per boundary worker.
         let routed: usize = outcome.routing.iter().map(|r| r.workers).sum();
         assert_eq!(routed, workload.workers.len());
+    }
+
+    #[test]
+    fn per_shard_providers_match_the_routed_static_path() {
+        // run() routes the predicted slice per shard into StaticForecasts;
+        // handing the same routed providers through run_with_forecasts must
+        // reproduce it exactly (the sequential tick stepper is outcome-
+        // equivalent to the pooled one), with the counters merged in shard
+        // index order.
+        let spec = ScenarioSpec::small().with_tasks(250).with_workers(20);
+        let workload = UniformBaseline::new(spec).generate();
+        let predicted: Vec<PredictedTaskInput> = workload
+            .tasks
+            .iter()
+            .step_by(11)
+            .map(|t| PredictedTaskInput {
+                location: t.location,
+                publication: t.publication + Duration(90.0),
+                expiration: t.expiration + Duration(90.0),
+            })
+            .collect();
+        let map = || shard_map(spec.area_km, 8, 4);
+        let config = ShardedEngineConfig {
+            engine: EngineConfig::ticked(60.0),
+            ..ShardedEngineConfig::default()
+        };
+
+        let routed = run_workload_sharded(
+            &runner(PolicyKind::DtaTp),
+            &workload,
+            &predicted,
+            map(),
+            config,
+        );
+
+        let m = map();
+        let mut providers: Vec<Box<dyn ForecastProvider>> = {
+            let mut by_shard: Vec<Vec<PredictedTaskInput>> = vec![Vec::new(); m.shard_count()];
+            for p in &predicted {
+                by_shard[m.shard_of(&p.location).index()].push(*p);
+            }
+            by_shard
+                .into_iter()
+                .map(|pred| Box::new(StaticForecast::new(pred)) as Box<dyn ForecastProvider>)
+                .collect()
+        };
+        let mut engine = ShardedStreamEngine::new(m, config);
+        engine.load(&workload);
+        let with_providers = engine.run_with_forecasts(&runner(PolicyKind::DtaTp), &mut providers);
+
+        assert_eq!(with_providers.run.assigned_tasks, routed.run.assigned_tasks);
+        for (a, b) in with_providers.per_shard.iter().zip(&routed.per_shard) {
+            assert_eq!(a.assigned_tasks, b.assigned_tasks);
+            assert_eq!(a.per_worker, b.per_worker);
+        }
+        assert_eq!(with_providers.routing, routed.routing);
+        // Both paths observed every routed task exactly once and the merge
+        // is the shard-index fold of the per-shard counters.
+        assert_eq!(with_providers.run.forecast.observed, workload.tasks.len());
+        assert_eq!(with_providers.run.forecast, routed.run.forecast);
+        let folded = with_providers
+            .per_shard
+            .iter()
+            .fold(ForecastStats::default(), |acc, o| acc.merged(o.forecast));
+        assert_eq!(folded, with_providers.run.forecast);
     }
 
     #[test]

@@ -13,9 +13,10 @@ fn main() {
     let workload = HotspotDrift::new(spec).generate();
     let runner = AdaptiveRunner::new(AssignConfig::default(), PolicyKind::Dta);
 
+    let mut forecast = StaticForecast::default();
     let mut service = DispatchService::open(
         &runner,
-        &[],
+        &mut forecast,
         LiveSource::new(&workload, 20.0),
         CollectingSink::new(),
         ServiceConfig::default(),

@@ -52,14 +52,15 @@ pub use datawa_tensor as tensor;
 /// One-stop imports for examples and downstream binaries.
 pub mod prelude {
     pub use datawa_assign::{
-        AdaptiveRunner, ArrivalEvent, AssignConfig, DispatchRecord, Planner, PolicyKind,
-        PredictedTaskInput, RunnerState, SearchMode, TaskValueFunction, TvfInference,
+        AdaptiveRunner, ArrivalEvent, AssignConfig, DispatchRecord, ForecastProvider,
+        ForecastStats, Planner, PolicyKind, PredictedTaskInput, RunnerState, SearchMode,
+        StaticForecast, TaskValueFunction, TvfInference,
     };
     pub use datawa_core::prelude::*;
     pub use datawa_geo::{GridSpec, ShardId, ShardMap, SpatialIndex, UniformGrid};
     pub use datawa_predict::{
-        DdgnnPredictor, DemandPredictor, GraphWaveNetPredictor, LstmPredictor, SeriesDataset,
-        SeriesSpec, TrainingConfig,
+        DdgnnPredictor, DemandPredictor, GraphWaveNetPredictor, LstmPredictor,
+        OnlineForecastConfig, OnlineForecaster, SeriesDataset, SeriesSpec, TrainingConfig,
     };
     pub use datawa_service::{
         DispatchService, IngestSource, LiveSource, PumpStatus, ServiceConfig, ServiceStats,
@@ -68,7 +69,8 @@ pub mod prelude {
     #[allow(deprecated)] // the equivalence tests reach the oracle through the prelude
     pub use datawa_sim::run_policy_legacy;
     pub use datawa_sim::{
-        run_policy, run_prediction, train_tvf_on_prefix, PipelineConfig, SyntheticTrace, TraceSpec,
+        online_forecaster, run_policy, run_policy_with_forecast, run_prediction,
+        train_tvf_on_prefix, PipelineConfig, SyntheticTrace, TraceSpec,
     };
     pub use datawa_stream::{
         builtin_scenarios, run_workload, run_workload_sharded, ChannelSink, CollectingSink,

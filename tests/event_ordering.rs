@@ -126,7 +126,8 @@ proptest! {
         let seeded = seeded_count as u32;
         let runner = AdaptiveRunner::new(AssignConfig::default(), PolicyKind::Greedy);
         let mut sink = RecordingSink::default();
-        let mut session = Session::open(&runner, &[], EngineConfig::default());
+        let mut forecast = StaticForecast::default();
+        let mut session = Session::open(&runner, &mut forecast, EngineConfig::default());
 
         // Seed entities far away from each other so nothing is served (no
         // entity leaves the views between the two instants).

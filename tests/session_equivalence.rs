@@ -29,7 +29,8 @@ fn run_event_by_event(
     let r = runner(policy);
     let (tx, rx) = mpsc::channel();
     let mut sink = ChannelSink::new(tx);
-    let mut session = Session::open(&r, &[], config);
+    let mut forecast = StaticForecast::default();
+    let mut session = Session::open(&r, &mut forecast, config);
     // WorkloadSource hands out arrivals in the engine queue's deterministic
     // order (time, workers-before-tasks, FIFO).
     let mut source = WorkloadSource::new(workload);
@@ -127,7 +128,8 @@ fn session_ingest_equals_batch_run_with_predicted_tasks() {
     let batch = run_workload(&r, &workload, &predicted, EngineConfig::default());
 
     let mut sink = CollectingSink::new();
-    let mut session = Session::open(&r, &predicted, EngineConfig::default());
+    let mut forecast = StaticForecast::from_slice(&predicted);
+    let mut session = Session::open(&r, &mut forecast, EngineConfig::default());
     let mut source = WorkloadSource::new(&workload);
     while let SourcePoll::Ready(time, event) = source.poll() {
         session.ingest(time, event).unwrap();
@@ -152,7 +154,8 @@ fn chunked_advance_equals_batch_run_under_time_driven_planning() {
     let batch = run_workload(&r, &workload, &[], config);
 
     let mut sink = CollectingSink::new();
-    let mut session = Session::open(&r, &[], config);
+    let mut forecast = StaticForecast::default();
+    let mut session = Session::open(&r, &mut forecast, config);
     session.ingest_workload(&workload).unwrap();
     let end = workload.end_time();
     let mut t = 0.0;
