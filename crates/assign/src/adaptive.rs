@@ -15,6 +15,7 @@ use datawa_core::{
     AvailableWorkerView, Duration, Location, OpenTaskView, Task, TaskId, TaskSequence, TaskStore,
     Timestamp, Worker, WorkerId, WorkerMode, WorkerStore,
 };
+use datawa_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::collections::{HashMap, HashSet};
 
 /// The five task-assignment methods compared in the paper's evaluation.
@@ -174,6 +175,12 @@ pub struct AdaptiveRunner {
     /// setting; larger values trade assignment quality for speed on large
     /// traces).
     pub replan_every: usize,
+    /// Observability registry every run state records into. Defaults to
+    /// [`MetricsRegistry::from_env`] (`DATAWA_OBS=on` attaches it, anything
+    /// else leaves it detached and every recording a no-op); override with
+    /// [`AdaptiveRunner::with_metrics`]. Private so the field cannot bypass
+    /// the construction path — use [`AdaptiveRunner::metrics`] to read it.
+    obs: MetricsRegistry,
 }
 
 #[derive(Debug, Clone)]
@@ -199,6 +206,59 @@ struct WorkerRuntime {
     fixed_assigned: bool,
 }
 
+/// Pre-resolved handles into the runner's [`MetricsRegistry`] (resolving by
+/// name locks the registry's table, so it happens once per run, in
+/// [`AdaptiveRunner::start`], never on the per-event path). Every handle is
+/// inert when the registry is detached.
+struct AssignMetrics {
+    /// `assign.replan_seconds`: wall-clock latency of each planning instant.
+    replan_seconds: Histogram,
+    /// `assign.planning_calls`: planning invocations.
+    planning_calls: Counter,
+    /// `assign.search_nodes`: search nodes expanded across all partitions.
+    search_nodes: Counter,
+    /// `assign.dispatches`: real tasks dispatched.
+    dispatches: Counter,
+    /// `assign.partitions`: independent partitions of the latest instant
+    /// (high-water = the run's peak).
+    partitions: Gauge,
+    /// `assign.partition_workers`: workers in the instant's largest
+    /// partition.
+    partition_workers: Gauge,
+    /// `assign.pool_occupancy`: threads the partition pool occupied.
+    pool_occupancy: Gauge,
+    /// `assign.open_tasks`: open unserved tasks at the latest time instance.
+    open_tasks: Gauge,
+    /// `assign.available_workers`: idle available workers at the latest time
+    /// instance.
+    available_workers: Gauge,
+    /// `forecast.observed` / `forecast.queries` / `forecast.refreshes`:
+    /// activity counters of the run's forecast provider (mirrored into
+    /// gauges after each planning instant).
+    forecast_observed: Gauge,
+    forecast_queries: Gauge,
+    forecast_refreshes: Gauge,
+}
+
+impl AssignMetrics {
+    fn register(registry: &MetricsRegistry) -> AssignMetrics {
+        AssignMetrics {
+            replan_seconds: registry.histogram("assign.replan_seconds"),
+            planning_calls: registry.counter("assign.planning_calls"),
+            search_nodes: registry.counter("assign.search_nodes"),
+            dispatches: registry.counter("assign.dispatches"),
+            partitions: registry.gauge("assign.partitions"),
+            partition_workers: registry.gauge("assign.partition_workers"),
+            pool_occupancy: registry.gauge("assign.pool_occupancy"),
+            open_tasks: registry.gauge("assign.open_tasks"),
+            available_workers: registry.gauge("assign.available_workers"),
+            forecast_observed: registry.gauge("forecast.observed"),
+            forecast_queries: registry.gauge("forecast.queries"),
+            forecast_refreshes: registry.gauge("forecast.refreshes"),
+        }
+    }
+}
+
 impl AdaptiveRunner {
     /// Creates a runner with the paper's defaults.
     pub fn new(config: AssignConfig, policy: PolicyKind) -> AdaptiveRunner {
@@ -208,6 +268,7 @@ impl AdaptiveRunner {
             tvf: None,
             prediction_lookahead: Duration::from_secs(60.0),
             replan_every: 1,
+            obs: MetricsRegistry::from_env(),
         }
     }
 
@@ -216,6 +277,22 @@ impl AdaptiveRunner {
     pub fn with_tvf(mut self, tvf: TaskValueFunction) -> AdaptiveRunner {
         self.tvf = Some(tvf.inference());
         self
+    }
+
+    /// Replaces the runner's observability registry (e.g. with
+    /// [`MetricsRegistry::new`] to force metrics on regardless of
+    /// `DATAWA_OBS`, or [`MetricsRegistry::detached`] to force them off).
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> AdaptiveRunner {
+        self.obs = registry;
+        self
+    }
+
+    /// The runner's observability registry (detached unless `DATAWA_OBS=on`
+    /// or [`AdaptiveRunner::with_metrics`] attached one). Drivers that layer
+    /// their own metrics on top — the stream session, the dispatch service —
+    /// register into this same registry so one snapshot covers the stack.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs
     }
 
     fn planner(&self) -> Planner {
@@ -270,6 +347,7 @@ impl AdaptiveRunner {
             reserved_by_fta: HashSet::new(),
             dispatch_log: Vec::new(),
             outcome: RunOutcome::default(),
+            metrics: AssignMetrics::register(&self.obs),
         }
     }
 
@@ -376,6 +454,7 @@ pub struct RunnerState<'a, F: ForecastProvider + ?Sized = dyn ForecastProvider +
     reserved_by_fta: HashSet<TaskId>,
     dispatch_log: Vec<DispatchRecord>,
     outcome: RunOutcome,
+    metrics: AssignMetrics,
 }
 
 impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
@@ -496,6 +575,11 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
         // `expire_task`).
         let open_tasks: Vec<TaskId> = self.open_view.open_at(&self.tasks, now);
 
+        self.metrics.open_tasks.set(open_tasks.len() as i64);
+        self.metrics
+            .available_workers
+            .set(idle_workers.len() as i64);
+
         // Planning (Algorithm 3, lines 3–9). FTA plans only for workers that
         // have never received their fixed sequence; the adaptive policies
         // re-plan when the driver's batching policy says so.
@@ -560,6 +644,22 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
                     .max(report.max_partition_workers);
                 self.outcome.peak_pool_occupancy =
                     self.outcome.peak_pool_occupancy.max(report.threads_used);
+                self.metrics
+                    .replan_seconds
+                    .record_seconds(report.elapsed_seconds);
+                self.metrics.planning_calls.inc();
+                self.metrics.search_nodes.add(report.nodes_expanded as u64);
+                self.metrics.partitions.set(report.partitions as i64);
+                self.metrics
+                    .partition_workers
+                    .set(report.max_partition_workers as i64);
+                self.metrics.pool_occupancy.set(report.threads_used as i64);
+                if self.metrics.forecast_observed.is_attached() {
+                    let stats = self.forecast.stats();
+                    self.metrics.forecast_observed.set(stats.observed as i64);
+                    self.metrics.forecast_queries.set(stats.queries as i64);
+                    self.metrics.forecast_refreshes.set(stats.refreshes as i64);
+                }
                 if policy == PolicyKind::Fta {
                     // Pin the fixed plans of the planned workers, mapped back
                     // to real task ids, skipping tasks already reserved by
@@ -679,6 +779,7 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
                     *self.outcome.per_worker.entry(wid).or_insert(0) += 1;
                     self.runtime[wid.index()].busy_until = arrival;
                     self.workers.get_mut(wid).location = task.location;
+                    self.metrics.dispatches.inc();
                     self.dispatch_log.push(DispatchRecord {
                         worker: wid,
                         task: tid,
@@ -699,6 +800,17 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
     pub fn finish(self) -> RunOutcome {
         let mut outcome = self.outcome;
         outcome.forecast = self.forecast.stats();
+        if self.metrics.forecast_observed.is_attached() {
+            self.metrics
+                .forecast_observed
+                .set(outcome.forecast.observed as i64);
+            self.metrics
+                .forecast_queries
+                .set(outcome.forecast.queries as i64);
+            self.metrics
+                .forecast_refreshes
+                .set(outcome.forecast.refreshes as i64);
+        }
         outcome.mean_planning_seconds = if outcome.planning_calls == 0 {
             0.0
         } else {

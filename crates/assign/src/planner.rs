@@ -57,6 +57,11 @@ pub struct PlanningReport {
     /// Threads the partition pool actually occupied
     /// (`min(configured, partitions)`, at least 1).
     pub threads_used: usize,
+    /// Search nodes expanded across all partitions: budgeted depth-first
+    /// expansions for the exact search, one per planned worker for the
+    /// guided search (which visits each worker exactly once), zero for the
+    /// greedy baseline.
+    pub nodes_expanded: usize,
 }
 
 /// How the planner searches each cluster tree.
@@ -259,12 +264,20 @@ impl Planner {
         let plans = pool::run_indexed(threads, &partitions, |_, p: &Partition| {
             let mut available = p.task_set();
             match tvf {
-                None => search.exact_partition(&tree, &mapping, p.root, &mut available, None),
-                Some(tvf) => search.guided_partition(&tree, &mapping, p.root, &mut available, tvf),
+                None => {
+                    search.exact_partition_counted(&tree, &mapping, p.root, &mut available, None)
+                }
+                Some(tvf) => {
+                    let plan =
+                        search.guided_partition(&tree, &mapping, p.root, &mut available, tvf);
+                    let nodes = plan.len();
+                    (plan, nodes)
+                }
             }
         });
         let mut assignment = Assignment::new();
-        for plan in plans {
+        for (plan, nodes) in plans {
+            report.nodes_expanded += nodes;
             for (w, seq) in plan {
                 assignment.set(w, seq);
             }

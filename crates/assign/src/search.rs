@@ -124,8 +124,24 @@ impl<'a> DfSearch<'a> {
         mapping: &[WorkerId],
         root: usize,
         available: &mut HashSet<TaskId>,
-        mut samples: Option<&mut Vec<SearchSample>>,
+        samples: Option<&mut Vec<SearchSample>>,
     ) -> Vec<(WorkerId, TaskSequence)> {
+        self.exact_partition_counted(tree, mapping, root, available, samples)
+            .0
+    }
+
+    /// [`DfSearch::exact_partition`] plus the number of search nodes the
+    /// budgeted depth-first search actually expanded (the observability
+    /// layer's `assign.search_nodes` counter; also a direct read on how much
+    /// of [`AssignConfig::search_node_budget`] the instant consumed).
+    pub fn exact_partition_counted(
+        &self,
+        tree: &ClusterTree,
+        mapping: &[WorkerId],
+        root: usize,
+        available: &mut HashSet<TaskId>,
+        mut samples: Option<&mut Vec<SearchSample>>,
+    ) -> (Vec<(WorkerId, TaskSequence)>, usize) {
         let mut budget = self.config.search_node_budget;
         let (_, plan) = self.exact_node(
             tree,
@@ -136,7 +152,7 @@ impl<'a> DfSearch<'a> {
             &mut budget,
             &mut samples,
         );
-        plan
+        (plan, self.config.search_node_budget - budget)
     }
 
     /// Weighted objective contribution of one sequence: real tasks (already

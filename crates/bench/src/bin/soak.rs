@@ -1,0 +1,318 @@
+//! Million-event soak harness: drives live sessions over every built-in
+//! scenario generator at several planner thread counts, with the
+//! observability layer attached, and writes a `BENCH_<tag>.json` report.
+//!
+//! Each (scenario × thread-count) combination repeatedly generates a
+//! reseeded workload and pumps it through a fresh [`Session`] until the
+//! cumulative processed-event count reaches the per-run target, so memory
+//! stays bounded no matter how large the target is. Metrics accumulate in
+//! one registry per combination: replan latency percentiles come from the
+//! `assign.replan_seconds` histogram, partition stats from the assign-layer
+//! gauges, queue depth from the stream-layer gauge, and the memory
+//! high-water from a counting global allocator.
+//!
+//! ```text
+//! soak [--events N] [--threads 1,2,4,8] [--tag 6] [--out DIR] [--policy dta]
+//! ```
+//!
+//! The report is self-validated before the final `soak_ok=1` line: the file
+//! is parsed back and every run must show a finite, nonzero replan p99.
+
+use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind, StaticForecast};
+use datawa_obs::{CountingAlloc, JsonValue, MetricsRegistry};
+use datawa_service::{IngestSource, SourcePoll, WorkloadSource};
+use datawa_stream::{builtin_scenarios, EngineConfig, NullSink, ScenarioSpec, Session};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const NS_PER_MS: f64 = 1_000_000.0;
+
+struct Args {
+    /// Processed-event target per (scenario × threads) run.
+    events: usize,
+    threads: Vec<usize>,
+    tag: String,
+    out_dir: String,
+    policy: PolicyKind,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            events: 1_000_000,
+            threads: vec![1, 2, 4, 8],
+            tag: "soak".to_string(),
+            out_dir: ".".to_string(),
+            policy: PolicyKind::Dta,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {flag}"))
+            };
+            match flag.as_str() {
+                "--events" => args.events = value().parse().expect("--events takes a number"),
+                "--threads" => {
+                    args.threads = value()
+                        .split(',')
+                        .map(|t| t.trim().parse().expect("--threads takes e.g. 1,2,4"))
+                        .collect();
+                }
+                "--tag" => args.tag = value(),
+                "--out" => args.out_dir = value(),
+                "--policy" => {
+                    let name = value().to_ascii_lowercase();
+                    args.policy = PolicyKind::all()
+                        .iter()
+                        .copied()
+                        .find(|p| p.name().to_ascii_lowercase() == name)
+                        .unwrap_or_else(|| panic!("unknown policy {name}"));
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(args.events > 0, "--events must be positive");
+        assert!(!args.threads.is_empty(), "--threads must not be empty");
+        args
+    }
+}
+
+/// Per-session workload shape: small enough that open tasks and available
+/// workers stay in the low hundreds (keeping per-event cost flat on one
+/// core), large enough that a session is ~50k processed events.
+fn session_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::small()
+        .with_tasks(20_000)
+        .with_workers(1_500)
+        .with_horizon(40_000.0)
+        .with_seed(seed)
+}
+
+struct ComboOutcome {
+    sessions: usize,
+    events: usize,
+    arrivals: usize,
+    assigned_tasks: usize,
+    planning_calls: usize,
+    wall_seconds: f64,
+}
+
+/// Pumps reseeded sessions of `scenario_index` through `runner` until
+/// `target_events` lifecycle events have been processed.
+fn soak_combo(
+    scenario_index: usize,
+    runner: &AdaptiveRunner,
+    target_events: usize,
+) -> ComboOutcome {
+    let mut outcome = ComboOutcome {
+        sessions: 0,
+        events: 0,
+        arrivals: 0,
+        assigned_tasks: 0,
+        planning_calls: 0,
+        wall_seconds: 0.0,
+    };
+    while outcome.events < target_events {
+        let seed = 1000 + outcome.sessions as u64;
+        let workload = builtin_scenarios(session_spec(seed))
+            .swap_remove(scenario_index)
+            .generate();
+        let mut forecast = StaticForecast::default();
+        let mut sink = NullSink;
+        let started = Instant::now();
+        let mut session = Session::open(runner, &mut forecast, EngineConfig::batched(64));
+        let mut source = WorkloadSource::new(&workload);
+        while let SourcePoll::Ready(time, event) = source.poll() {
+            session
+                .ingest(time, event)
+                .expect("replay times are finite");
+            session.advance_to(time, &mut sink);
+        }
+        let closed = session.close(&mut sink);
+        outcome.wall_seconds += started.elapsed().as_secs_f64();
+        outcome.sessions += 1;
+        outcome.events += closed.stats.events_processed;
+        outcome.arrivals += closed.stats.arrivals;
+        outcome.assigned_tasks += closed.run.assigned_tasks;
+        outcome.planning_calls += closed.run.planning_calls;
+    }
+    outcome
+}
+
+fn histogram_ms(snapshot: &datawa_obs::MetricsSnapshot, name: &str) -> JsonValue {
+    let summary = snapshot.histograms.get(name).copied().unwrap_or_default();
+    let ms = |ns: u64| JsonValue::from_f64(ns as f64 / NS_PER_MS);
+    JsonValue::object(vec![
+        ("count".into(), JsonValue::from_u64(summary.count)),
+        ("p50_ms".into(), ms(summary.p50)),
+        ("p95_ms".into(), ms(summary.p95)),
+        ("p99_ms".into(), ms(summary.p99)),
+        ("max_ms".into(), ms(summary.max)),
+        (
+            "mean_ms".into(),
+            JsonValue::from_f64(summary.mean() / NS_PER_MS),
+        ),
+    ])
+}
+
+fn gauge_high_water(snapshot: &datawa_obs::MetricsSnapshot, name: &str) -> u64 {
+    snapshot
+        .gauges
+        .get(name)
+        .map(|g| g.high_water.max(0) as u64)
+        .unwrap_or(0)
+}
+
+fn counter(snapshot: &datawa_obs::MetricsSnapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+fn main() {
+    let args = Args::parse();
+    let scenario_names: Vec<&'static str> = builtin_scenarios(ScenarioSpec::small())
+        .iter()
+        .map(|s| s.name())
+        .collect();
+
+    let mut runs = Vec::new();
+    for (scenario_index, scenario) in scenario_names.iter().enumerate() {
+        for &threads in &args.threads {
+            ALLOC.reset_high_water();
+            let allocations_before = ALLOC.allocation_count();
+            let registry = MetricsRegistry::new();
+            let config = AssignConfig {
+                threads,
+                ..AssignConfig::default()
+            };
+            let runner = AdaptiveRunner::new(config, args.policy).with_metrics(registry.clone());
+            let outcome = soak_combo(scenario_index, &runner, args.events);
+            let snapshot = registry.snapshot();
+            let events_per_sec = outcome.events as f64 / outcome.wall_seconds.max(1e-9);
+            eprintln!(
+                "soak: {scenario} threads={threads} events={} sessions={} \
+                 {:.0} events/sec",
+                outcome.events, outcome.sessions, events_per_sec
+            );
+            runs.push(JsonValue::object(vec![
+                ("scenario".into(), JsonValue::string(*scenario)),
+                ("threads".into(), JsonValue::from_u64(threads as u64)),
+                (
+                    "sessions".into(),
+                    JsonValue::from_u64(outcome.sessions as u64),
+                ),
+                ("events".into(), JsonValue::from_u64(outcome.events as u64)),
+                (
+                    "arrivals".into(),
+                    JsonValue::from_u64(outcome.arrivals as u64),
+                ),
+                (
+                    "assigned_tasks".into(),
+                    JsonValue::from_u64(outcome.assigned_tasks as u64),
+                ),
+                (
+                    "planning_calls".into(),
+                    JsonValue::from_u64(outcome.planning_calls as u64),
+                ),
+                (
+                    "wall_seconds".into(),
+                    JsonValue::from_f64(outcome.wall_seconds),
+                ),
+                ("events_per_sec".into(), JsonValue::from_f64(events_per_sec)),
+                (
+                    "replan".into(),
+                    histogram_ms(&snapshot, "assign.replan_seconds"),
+                ),
+                (
+                    "partitions_peak".into(),
+                    JsonValue::from_u64(gauge_high_water(&snapshot, "assign.partitions")),
+                ),
+                (
+                    "max_partition_workers".into(),
+                    JsonValue::from_u64(gauge_high_water(&snapshot, "assign.partition_workers")),
+                ),
+                (
+                    "pool_occupancy_peak".into(),
+                    JsonValue::from_u64(gauge_high_water(&snapshot, "assign.pool_occupancy")),
+                ),
+                (
+                    "search_nodes".into(),
+                    JsonValue::from_u64(counter(&snapshot, "assign.search_nodes")),
+                ),
+                (
+                    "queue_depth_high_water".into(),
+                    JsonValue::from_u64(gauge_high_water(&snapshot, "stream.queue_depth")),
+                ),
+                (
+                    "mem_high_water_bytes".into(),
+                    JsonValue::from_u64(ALLOC.high_water_bytes() as u64),
+                ),
+                (
+                    "allocations".into(),
+                    JsonValue::from_u64((ALLOC.allocation_count() - allocations_before) as u64),
+                ),
+                ("metrics".into(), snapshot.to_json_value()),
+            ]));
+        }
+    }
+
+    let report = JsonValue::object(vec![
+        ("bench".into(), JsonValue::string("soak")),
+        ("tag".into(), JsonValue::string(args.tag.clone())),
+        ("policy".into(), JsonValue::string(args.policy.name())),
+        (
+            "target_events_per_run".into(),
+            JsonValue::from_u64(args.events as u64),
+        ),
+        (
+            "threads".into(),
+            JsonValue::Arr(
+                args.threads
+                    .iter()
+                    .map(|&t| JsonValue::from_u64(t as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "scenarios".into(),
+            JsonValue::Arr(
+                scenario_names
+                    .iter()
+                    .map(|s| JsonValue::string(*s))
+                    .collect(),
+            ),
+        ),
+        ("runs".into(), JsonValue::Arr(runs)),
+    ]);
+
+    let path = format!("{}/BENCH_{}.json", args.out_dir, args.tag);
+    std::fs::write(&path, report.render()).expect("write BENCH file");
+
+    // Self-validation: parse the file back and check the invariants the CI
+    // smoke job greps for.
+    let parsed = JsonValue::parse(&std::fs::read_to_string(&path).expect("reread BENCH file"))
+        .expect("BENCH file is valid JSON");
+    let runs = parsed.get("runs").expect("runs key").items();
+    assert_eq!(
+        runs.len(),
+        scenario_names.len() * args.threads.len(),
+        "one run per scenario x thread count"
+    );
+    for run in runs {
+        let events = run.get("events").and_then(JsonValue::as_u64).unwrap();
+        assert!(events as usize >= args.events, "run under event target");
+        let p99 = run
+            .get("replan")
+            .and_then(|r| r.get("p99_ms"))
+            .and_then(JsonValue::as_f64)
+            .expect("replan p99 present");
+        assert!(
+            p99.is_finite() && p99 > 0.0,
+            "replan p99 must be finite and nonzero"
+        );
+    }
+    println!("wrote {path} ({} runs)", runs.len());
+    println!("soak_ok=1");
+}

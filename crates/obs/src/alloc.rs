@@ -1,0 +1,138 @@
+//! A counting global-allocator shim for memory high-water tracking.
+//!
+//! The soak harness installs [`CountingAlloc`] as its `#[global_allocator]`
+//! so each `BENCH_*.json` can report live-heap high-water per run. The shim
+//! forwards every call to [`System`] and maintains three relaxed atomics —
+//! current live bytes, high-water live bytes, and cumulative allocation
+//! count. Library code never installs it; binaries opt in:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: datawa_obs::CountingAlloc = datawa_obs::CountingAlloc::new();
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A [`System`]-forwarding allocator that tracks live bytes, their
+/// high-water mark, and the total allocation count.
+#[derive(Debug)]
+pub struct CountingAlloc {
+    live: AtomicUsize,
+    high_water: AtomicUsize,
+    allocations: AtomicUsize,
+}
+
+impl CountingAlloc {
+    /// A zeroed shim (const, so it can be a `static`).
+    #[must_use]
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc {
+            live: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+            allocations: AtomicUsize::new(0),
+        }
+    }
+
+    /// Bytes currently allocated and not yet freed.
+    pub fn live_bytes(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Largest value [`Self::live_bytes`] has reached.
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Total number of allocations served.
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live size (per-run
+    /// baselining in the soak harness).
+    pub fn reset_high_water(&self) {
+        self.high_water
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_alloc(&self, size: usize) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        let live = self.live.fetch_add(size, Ordering::Relaxed) + size;
+        self.high_water.fetch_max(live, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_dealloc(&self, size: usize) {
+        self.live.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the byte counters are observational only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            self.on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            self.on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        self.on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            self.on_dealloc(layout.size());
+            self.on_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_a_manual_alloc_cycle() {
+        // Exercise the shim directly (not installed globally) with a real
+        // System allocation.
+        let shim = CountingAlloc::new();
+        let layout = Layout::from_size_align(4096, 8).expect("layout");
+        unsafe {
+            let ptr = shim.alloc(layout);
+            assert!(!ptr.is_null());
+            assert_eq!(shim.live_bytes(), 4096);
+            assert_eq!(shim.allocation_count(), 1);
+            assert!(shim.high_water_bytes() >= 4096);
+            let bigger = shim.realloc(ptr, layout, 8192);
+            assert!(!bigger.is_null());
+            assert_eq!(shim.live_bytes(), 8192);
+            shim.dealloc(bigger, Layout::from_size_align(8192, 8).expect("layout"));
+        }
+        assert_eq!(shim.live_bytes(), 0);
+        assert!(shim.high_water_bytes() >= 8192);
+        shim.reset_high_water();
+        assert_eq!(shim.high_water_bytes(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # datawa-obs — zero-overhead observability for the DATA-WA engine
+//!
+//! A lock-light metrics layer the rest of the workspace threads through its
+//! hot paths: atomic [`Counter`]s and [`Gauge`]s (with high-water marks),
+//! log-bucketed latency [`Histogram`]s (p50/p95/p99/max with ≤ 12.5 %
+//! relative error, mergeable across threads and shards), a scoped
+//! [`SpanTimer`], and a [`MetricsSnapshot`] that renders to JSON through the
+//! crate's own [`JsonValue`] model (the vendored serde is a marker stub, so
+//! serialization is hand-rolled here).
+//!
+//! ## Zero overhead when nobody is watching
+//!
+//! Everything hangs off a [`MetricsRegistry`] that is either *attached* or
+//! *detached*. A detached registry hands out inert handles: `inc`, `set` and
+//! `record` reduce to a branch on a `None`, and [`Histogram::span`] never
+//! reads the clock. Instrumented code therefore keeps its handles
+//! unconditionally, and the workspace equivalence tests pin that attaching a
+//! registry does not change assignment output bitwise.
+//!
+//! The default wiring follows the `DATAWA_THREADS` precedent:
+//! [`MetricsRegistry::from_env`] attaches when `DATAWA_OBS=on|1|true` and
+//! detaches otherwise, and `AdaptiveRunner::new` calls it, so exporting
+//! `DATAWA_OBS=on` lights up the whole stack with no code changes.
+//!
+//! ## Pattern
+//!
+//! ```
+//! use datawa_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new(); // or ::from_env() / ::detached()
+//! let replans = registry.counter("assign.planning_calls");
+//! let latency = registry.histogram("assign.replan_seconds");
+//! {
+//!     let _span = latency.span(); // records elapsed ns on drop
+//!     replans.inc();
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counters["assign.planning_calls"], 1);
+//! let text = snapshot.to_json(); // deterministic key order
+//! assert!(datawa_obs::MetricsSnapshot::from_json(&text).is_ok());
+//! ```
+//!
+//! Registration (`counter`/`gauge`/`histogram`) locks a name table and is a
+//! cold-path operation: resolve handles once at construction and keep them.
+//! Handles are `Arc`s over atomics — clones for the same name share storage,
+//! which is how per-shard sessions and worker threads aggregate without
+//! locks.
+//!
+//! The [`CountingAlloc`] global-allocator shim (installed only by binaries
+//! that opt in, e.g. the `soak` harness in `datawa-bench`) adds live-heap
+//! high-water tracking for `BENCH_*.json` memory columns.
+
+mod alloc;
+mod hist;
+mod json;
+mod registry;
+
+pub use alloc::CountingAlloc;
+pub use hist::{Histogram, HistogramSummary, SpanTimer, BUCKETS, SUB};
+pub use json::JsonValue;
+pub use registry::{
+    parse_obs_toggle, Counter, Gauge, GaugeSnapshot, MetricsRegistry, MetricsSnapshot, OBS_ENV,
+};

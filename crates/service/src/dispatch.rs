@@ -13,6 +13,7 @@
 use crate::source::{IngestSource, SourcePoll};
 use datawa_assign::{AdaptiveRunner, ForecastProvider, ForecastStats};
 use datawa_core::Timestamp;
+use datawa_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use datawa_stream::{DecisionSink, EngineConfig, EngineOutcome, Session, SessionSnapshot};
 
 /// Service knobs.
@@ -39,14 +40,24 @@ impl Default for ServiceConfig {
 }
 
 /// Counters describing a service run so far.
+///
+/// `backpressure_flushes` and `backlog_high_water` are sourced from the
+/// service's observability registry (see [`DispatchService::metrics`]) so
+/// they report cumulative truth — the stall count and the admission-backlog
+/// high-water mark over the whole run — not just the state at the instant
+/// [`DispatchService::stats`] was called.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Arrivals admitted into the session.
     pub ingested: usize,
     /// Quiet-period waits observed from the source.
     pub waits: usize,
-    /// Times the backpressure bound paused admission and forced a drain.
+    /// Times the backpressure bound paused admission and forced a drain
+    /// (cumulative, from the `service.backpressure_stalls` counter).
     pub backpressure_flushes: usize,
+    /// High-water mark of the admission backlog — arrivals admitted since
+    /// the session last advanced — from the `service.backlog` gauge.
+    pub backlog_high_water: usize,
     /// High-water mark of the session's pending-event queue at admission
     /// time.
     pub peak_pending: usize,
@@ -88,6 +99,35 @@ pub struct DispatchService<'a, Src, Sink> {
     /// Arrivals admitted since the session last advanced (the backlog the
     /// backpressure bound applies to).
     unadvanced: usize,
+    obs: MetricsRegistry,
+    metrics: ServiceMetrics,
+}
+
+/// Service-layer handles into the observability registry.
+///
+/// Always registered against an *attached* registry: the runner's when
+/// `DATAWA_OBS=on` (one combined snapshot across every layer), otherwise a
+/// private one owned by this service — so [`DispatchService::stats`] can
+/// source its high-water and stall counters from the registry
+/// unconditionally.
+struct ServiceMetrics {
+    ingested: Counter,
+    waits: Counter,
+    backpressure_stalls: Counter,
+    backlog: Gauge,
+    pump_seconds: Histogram,
+}
+
+impl ServiceMetrics {
+    fn register(registry: &MetricsRegistry) -> ServiceMetrics {
+        ServiceMetrics {
+            ingested: registry.counter("service.ingested"),
+            waits: registry.counter("service.waits"),
+            backpressure_stalls: registry.counter("service.backpressure_stalls"),
+            backlog: registry.gauge("service.backlog"),
+            pump_seconds: registry.histogram("service.pump_seconds"),
+        }
+    }
 }
 
 impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
@@ -106,24 +146,49 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
         sink: Sink,
         config: ServiceConfig,
     ) -> DispatchService<'a, Src, Sink> {
+        // Record into the runner's registry when it is attached (one
+        // combined snapshot across assign/stream/service); otherwise carry a
+        // private attached registry so registry-sourced stats always work.
+        let obs = if runner.metrics().is_attached() {
+            runner.metrics().clone()
+        } else {
+            MetricsRegistry::new()
+        };
         DispatchService {
             source,
             sink,
-            session: Session::open(runner, forecast, config.engine),
+            session: Session::open_with_metrics(runner, forecast, config.engine, &obs),
             config,
             stats: ServiceStats::default(),
             admitted_up_to: Timestamp(f64::NEG_INFINITY),
             unadvanced: 0,
+            metrics: ServiceMetrics::register(&obs),
+            obs,
         }
     }
 
     /// Service counters so far, including the live forecast-provider
-    /// counters.
+    /// counters. The stall count and the backlog high-water come from the
+    /// observability registry, so they are cumulative over the whole run.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             forecast: self.session.forecast_stats(),
+            backpressure_flushes: self.metrics.backpressure_stalls.value() as usize,
+            backlog_high_water: self.metrics.backlog.high_water().max(0) as usize,
             ..self.stats
         }
+    }
+
+    /// The observability registry the service (and its session) records
+    /// into: the runner's when that is attached, otherwise a private
+    /// always-attached one.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric in the service's registry.
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Mid-stream view of the session's live state.
@@ -139,6 +204,7 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
 
     /// One pump step: poll the source once and react.
     pub fn pump(&mut self) -> PumpStatus {
+        let _pump_span = self.metrics.pump_seconds.span();
         match self.source.poll() {
             SourcePoll::Ready(time, event) => {
                 // Backpressure: drain decisions for the admitted backlog
@@ -148,14 +214,18 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
                 // would fire a replan tick due there ahead of them.
                 if self.unadvanced >= self.config.max_pending && self.admitted_up_to.0 < time.0 {
                     self.stats.backpressure_flushes += 1;
+                    self.metrics.backpressure_stalls.inc();
                     self.session.advance_to(self.admitted_up_to, &mut self.sink);
                     self.unadvanced = 0;
+                    self.metrics.backlog.set(0);
                 }
                 self.session
                     .ingest(time, event)
                     .expect("sources produce finite, non-decreasing times");
                 self.stats.ingested += 1;
+                self.metrics.ingested.inc();
                 self.unadvanced += 1;
+                self.metrics.backlog.set(self.unadvanced as i64);
                 self.stats.peak_pending = self.stats.peak_pending.max(self.session.pending());
                 if time.0 > self.admitted_up_to.0 {
                     self.admitted_up_to = time;
@@ -164,8 +234,10 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
             }
             SourcePoll::Wait(until) => {
                 self.stats.waits += 1;
+                self.metrics.waits.inc();
                 self.session.advance_to(until, &mut self.sink);
                 self.unadvanced = 0;
+                self.metrics.backlog.set(0);
                 PumpStatus::Waited
             }
             SourcePoll::Exhausted => {
@@ -190,6 +262,8 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
         // close() drains remaining events, which may observe more arrivals;
         // the outcome carries the provider's final counters.
         self.stats.forecast = outcome.run.forecast;
+        self.stats.backpressure_flushes = self.metrics.backpressure_stalls.value() as usize;
+        self.stats.backlog_high_water = self.metrics.backlog.high_water().max(0) as usize;
         (outcome, self.stats, self.sink)
     }
 }
@@ -327,6 +401,76 @@ mod tests {
         for pair in sink.decisions().windows(2) {
             assert!(pair[0].at().0 <= pair[1].at().0);
         }
+    }
+
+    #[test]
+    fn stats_source_stalls_and_backlog_high_water_from_the_registry() {
+        let workload =
+            UniformBaseline::new(ScenarioSpec::small().with_tasks(300).with_workers(20)).generate();
+        let r = runner(PolicyKind::Greedy);
+        let tight = ServiceConfig {
+            max_pending: 8,
+            ..ServiceConfig::default()
+        };
+        let mut forecast = StaticForecast::default();
+        let mut service = DispatchService::open(
+            &r,
+            &mut forecast,
+            WorkloadSource::new(&workload),
+            CollectingSink::new(),
+            tight,
+        );
+        // Even with DATAWA_OBS unset the service carries its own attached
+        // registry, so the registry-sourced stats always work.
+        assert!(service.metrics().is_attached());
+        let mut pumps = 0;
+        while service.pump() != PumpStatus::SourceDrained {
+            pumps += 1;
+        }
+        let mid = service.stats();
+        let (_, stats, _) = service.finish();
+        assert_eq!(stats.backpressure_flushes, mid.backpressure_flushes);
+        assert!(stats.backpressure_flushes > 0, "bound never engaged");
+        // The backlog gauge's high-water is the largest burst admitted
+        // between drains: it must at least reach the bound that forced the
+        // flushes, and can never exceed what was admitted overall.
+        assert!(stats.backlog_high_water >= tight.max_pending);
+        assert!(stats.backlog_high_water <= stats.ingested);
+        let snap = mid;
+        assert_eq!(snap.ingested, workload.arrival_count());
+        // The shared registry carries service- and stream-layer metrics in
+        // one snapshot.
+        let obs = service_snapshot_of(&r, &workload, tight);
+        assert_eq!(
+            obs.counters.get("service.ingested").copied(),
+            Some(workload.arrival_count() as u64)
+        );
+        assert_eq!(
+            obs.counters.get("stream.ingested_events").copied(),
+            Some(workload.arrival_count() as u64)
+        );
+        let pump_hist = obs
+            .histograms
+            .get("service.pump_seconds")
+            .expect("pump latency histogram registered");
+        assert_eq!(pump_hist.count, pumps + 1, "one span per pump call");
+    }
+
+    fn service_snapshot_of(
+        r: &AdaptiveRunner,
+        workload: &datawa_stream::Workload,
+        config: ServiceConfig,
+    ) -> MetricsSnapshot {
+        let mut forecast = StaticForecast::default();
+        let mut service = DispatchService::open(
+            r,
+            &mut forecast,
+            WorkloadSource::new(workload),
+            CollectingSink::new(),
+            config,
+        );
+        while service.pump() != PumpStatus::SourceDrained {}
+        service.obs_snapshot()
     }
 
     #[test]

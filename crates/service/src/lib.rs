@@ -57,6 +57,24 @@
 //! crate's tests and the workspace `session_equivalence` suite), so the
 //! service is a strict generalisation of the replay path, not a fork of it.
 //!
+//! ## Observability
+//!
+//! The service records into a `datawa-obs`
+//! [`MetricsRegistry`](datawa_obs::MetricsRegistry): admissions
+//! (`service.ingested`), quiet-period waits (`service.waits`), cumulative
+//! backpressure stalls (`service.backpressure_stalls`), the admission
+//! backlog gauge with its high-water mark (`service.backlog`) and a pump
+//! latency histogram (`service.pump_seconds`). When the runner carries an
+//! attached registry (`DATAWA_OBS=on`, or
+//! [`AdaptiveRunner::with_metrics`](datawa_assign::AdaptiveRunner::with_metrics)),
+//! the service joins it, so [`DispatchService::obs_snapshot`] returns one
+//! combined assign + stream + service snapshot; otherwise the service
+//! carries a private always-attached registry, which is how
+//! [`DispatchService::stats`] can source [`ServiceStats::backpressure_flushes`]
+//! and [`ServiceStats::backlog_high_water`] from registry counters
+//! unconditionally — they report cumulative truth over the whole run, not
+//! the instant of the call.
+//!
 //! [`Session`]: datawa_stream::Session
 //! [`Decision`]: datawa_stream::Decision
 

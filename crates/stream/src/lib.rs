@@ -92,6 +92,30 @@
 //! [`StreamEngine::run_with_forecast`] are the batch conveniences over the
 //! same API.
 //!
+//! ## Observability
+//!
+//! Sessions record into a `datawa-obs` [`MetricsRegistry`]: ingest and
+//! processed-event counters (`stream.ingested_events`,
+//! `stream.events_processed`), emitted decisions (`stream.decisions`),
+//! re-plan ticks (`stream.replan_ticks`) and a pending-queue depth gauge
+//! whose high-water mark survives in every snapshot
+//! (`stream.queue_depth`). [`Session::open`] inherits the runner's
+//! registry — detached by default, attached when `DATAWA_OBS=on` is set or
+//! the runner was built with
+//! [`AdaptiveRunner::with_metrics`](datawa_assign::AdaptiveRunner::with_metrics)
+//! — so one registry carries the assign-layer metrics (replan latency
+//! histogram, partition gauges, search-node counters) and the stream-layer
+//! metrics side by side; [`Session::obs_snapshot`] serialises all of it to
+//! JSON. `Session::open_with_metrics` substitutes an explicit registry.
+//! The sharded engine additionally publishes per-shard load gauges
+//! (`shard.<i>.workers` / `.tasks` / `.assigned`) and an overall
+//! `shard.load_skew_pct`. A detached registry makes every handle a no-op —
+//! no atomics touched, no clocks read — which is what lets the
+//! `obs_equivalence` workspace tests pin metrics-on runs bitwise against
+//! metrics-off runs on all four policies.
+//!
+//! [`MetricsRegistry`]: datawa_obs::MetricsRegistry
+//!
 //! ## Replay compatibility
 //!
 //! [`EngineConfig::replay_compat`] reproduces the legacy

@@ -28,6 +28,7 @@ use crate::event::{Event, EventQueue, ScheduledEvent};
 use crate::scenario::Workload;
 use datawa_assign::{AdaptiveRunner, ForecastProvider, ForecastStats, RunnerState};
 use datawa_core::{Duration, TaskId, Timestamp, WorkerId};
+use datawa_obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 use std::sync::mpsc::Sender;
 
 /// One incremental decision emitted by a session.
@@ -142,22 +143,42 @@ impl DecisionSink for CollectingSink {
 
 /// A channel-backed sink: every decision is sent to an `mpsc` consumer (for
 /// example a logging/serving thread). A hung-up receiver does not fail the
-/// session; undeliverable decisions are counted instead.
+/// session; undeliverable decisions are counted instead — both in the sink's
+/// own fields and, when built with [`ChannelSink::with_metrics`], in the
+/// observability registry (`stream.sink.undeliverable`), so a dropped
+/// consumer shows up in metric snapshots instead of being a silent local
+/// tally.
 #[derive(Debug)]
 pub struct ChannelSink {
     tx: Sender<Decision>,
     sent: usize,
     undeliverable: usize,
+    delivered_metric: Counter,
+    undeliverable_metric: Counter,
+    observed_metric: Counter,
 }
 
 impl ChannelSink {
-    /// Wraps a channel sender.
+    /// Wraps a channel sender (no metrics; equivalent to
+    /// [`ChannelSink::with_metrics`] over a detached registry).
     #[must_use]
     pub fn new(tx: Sender<Decision>) -> ChannelSink {
+        ChannelSink::with_metrics(tx, &MetricsRegistry::detached())
+    }
+
+    /// Wraps a channel sender and registers the sink's counters:
+    /// `stream.sink.delivered` / `stream.sink.undeliverable` per emitted
+    /// decision, and `stream.sink.events_observed` for every event the
+    /// session shows to [`DecisionSink::observe_event`].
+    #[must_use]
+    pub fn with_metrics(tx: Sender<Decision>, registry: &MetricsRegistry) -> ChannelSink {
         ChannelSink {
             tx,
             sent: 0,
             undeliverable: 0,
+            delivered_metric: registry.counter("stream.sink.delivered"),
+            undeliverable_metric: registry.counter("stream.sink.undeliverable"),
+            observed_metric: registry.counter("stream.sink.events_observed"),
         }
     }
 
@@ -175,9 +196,19 @@ impl ChannelSink {
 impl DecisionSink for ChannelSink {
     fn emit(&mut self, decision: Decision) {
         match self.tx.send(decision) {
-            Ok(()) => self.sent += 1,
-            Err(_) => self.undeliverable += 1,
+            Ok(()) => {
+                self.sent += 1;
+                self.delivered_metric.inc();
+            }
+            Err(_) => {
+                self.undeliverable += 1;
+                self.undeliverable_metric.inc();
+            }
         }
+    }
+
+    fn observe_event(&mut self, _time: Timestamp, _event: &Event) {
+        self.observed_metric.inc();
     }
 }
 
@@ -272,6 +303,36 @@ pub struct Session<'a, F: ForecastProvider + ?Sized = dyn ForecastProvider + 'a>
     /// was momentarily empty.
     next_tick: Option<Timestamp>,
     dispatches_emitted: usize,
+    obs: MetricsRegistry,
+    metrics: StreamMetrics,
+}
+
+/// Pre-resolved stream-layer handles into the session's registry (see the
+/// crate-level "Observability" docs for the metric catalogue). Inert when
+/// the registry is detached.
+struct StreamMetrics {
+    /// `stream.ingested_events`: events accepted by [`Session::ingest`].
+    ingested_events: Counter,
+    /// `stream.events_processed`: events fired (arrivals, lifecycle, ticks).
+    events_processed: Counter,
+    /// `stream.replan_ticks`: time-driven and explicit replan ticks fired.
+    replan_ticks: Counter,
+    /// `stream.decisions`: decisions emitted to the sink.
+    decisions: Counter,
+    /// `stream.queue_depth`: pending events (high-water = ingest burst peak).
+    queue_depth: Gauge,
+}
+
+impl StreamMetrics {
+    fn register(registry: &MetricsRegistry) -> StreamMetrics {
+        StreamMetrics {
+            ingested_events: registry.counter("stream.ingested_events"),
+            events_processed: registry.counter("stream.events_processed"),
+            replan_ticks: registry.counter("stream.replan_ticks"),
+            decisions: registry.counter("stream.decisions"),
+            queue_depth: registry.gauge("stream.queue_depth"),
+        }
+    }
 }
 
 impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
@@ -294,6 +355,25 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
         forecast: &'a mut F,
         config: EngineConfig,
     ) -> Session<'a, F> {
+        let registry = runner.metrics().clone();
+        Session::open_with_metrics(runner, forecast, config, &registry)
+    }
+
+    /// [`Session::open`] with an explicit observability registry instead of
+    /// the runner's own: the session's stream-layer metrics (and its
+    /// [`Session::obs_snapshot`]) use `registry`, while the runner state
+    /// keeps recording into the runner's registry. Pass the runner's
+    /// registry (what [`Session::open`] does) to get one combined snapshot;
+    /// pass a different attached registry to keep stream-layer counters
+    /// separate (the dispatch service does this when the runner's registry
+    /// is detached).
+    #[must_use]
+    pub fn open_with_metrics(
+        runner: &'a AdaptiveRunner,
+        forecast: &'a mut F,
+        config: EngineConfig,
+        registry: &MetricsRegistry,
+    ) -> Session<'a, F> {
         if let Some(dt) = config.replan_interval {
             assert!(
                 dt.is_finite() && dt > 0.0,
@@ -309,7 +389,23 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
             watermark: Timestamp(f64::NEG_INFINITY),
             next_tick: None,
             dispatches_emitted: 0,
+            obs: registry.clone(),
+            metrics: StreamMetrics::register(registry),
         }
+    }
+
+    /// The observability registry this session records into (detached unless
+    /// `DATAWA_OBS=on`, the runner carries an attached registry, or the
+    /// session was opened through [`Session::open_with_metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric in the session's registry
+    /// (empty when detached). Includes the assign-layer metrics when the
+    /// session records into the runner's registry (the default).
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// The session's engine configuration.
@@ -385,6 +481,8 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
             });
         }
         self.queue.push(time, event);
+        self.metrics.ingested_events.inc();
+        self.metrics.queue_depth.set(self.queue.len() as i64);
         Ok(())
     }
 
@@ -480,6 +578,8 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
     fn fire_tick(&mut self, tt: Timestamp, sink: &mut dyn DecisionSink) {
         self.stats.events_processed += 1;
         self.stats.replan_ticks += 1;
+        self.metrics.events_processed.inc();
+        self.metrics.replan_ticks.inc();
         sink.observe_event(tt, &Event::ReplanTick);
         self.state.step(tt, true);
         self.emit_dispatches(sink);
@@ -492,6 +592,7 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
     fn process(&mut self, scheduled: ScheduledEvent, sink: &mut dyn DecisionSink) {
         let now = scheduled.time;
         self.stats.events_processed += 1;
+        self.metrics.events_processed.inc();
         sink.observe_event(now, &scheduled.event);
         match scheduled.event {
             Event::WorkerOnline(w) => {
@@ -528,6 +629,7 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
                 self.stats.expirations += 1;
                 if self.state.expire_task(tid) {
                     self.stats.expired_open += 1;
+                    self.metrics.decisions.inc();
                     sink.emit(Decision::TaskExpired { at: now, task: tid });
                 }
             }
@@ -535,6 +637,7 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
                 self.stats.offline += 1;
                 self.state
                     .retire_worker(wid, self.config.release_on_offline);
+                self.metrics.decisions.inc();
                 sink.emit(Decision::WorkerOffline {
                     at: now,
                     worker: wid,
@@ -543,15 +646,20 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
             Event::ReplanTick => {
                 // An explicitly ingested tick: one-shot forced re-plan.
                 self.stats.replan_ticks += 1;
+                self.metrics.replan_ticks.inc();
                 self.state.step(now, true);
                 self.emit_dispatches(sink);
             }
         }
+        // Arrivals push lifetime-closing events; keep the depth gauge (and
+        // its high-water mark) tracking the post-event queue.
+        self.metrics.queue_depth.set(self.queue.len() as i64);
     }
 
     fn emit_dispatches(&mut self, sink: &mut dyn DecisionSink) {
         for d in self.state.take_dispatches() {
             self.dispatches_emitted += 1;
+            self.metrics.decisions.inc();
             sink.emit(Decision::Dispatch {
                 at: d.decided_at,
                 worker: d.worker,

@@ -326,6 +326,7 @@ impl ShardedStreamEngine {
         self.stats.peak_partitions = total.peak_partitions;
         self.stats.peak_partition_workers = total.peak_partition_workers;
         self.stats.peak_pool_occupancy = total.peak_pool_occupancy;
+        record_shard_metrics(runner.metrics(), &per_shard, &routing, boundary_workers);
         ShardedOutcome {
             run: total,
             per_shard,
@@ -334,6 +335,42 @@ impl ShardedStreamEngine {
             boundary_workers,
         }
     }
+}
+
+/// Records the per-shard load picture into the runner's observability
+/// registry at the end of a sharded run: one gauge triplet per shard
+/// (`shard.<i>.workers` / `.tasks` / `.assigned`, from the routing counters
+/// and shard outcomes) plus the aggregate skew gauge
+/// `shard.load_skew_pct` — the most-loaded shard's routed-task count as a
+/// percentage of the per-shard mean (100 = perfectly balanced bands; higher
+/// means the banding is concentrating demand) — and
+/// `shard.boundary_workers`, how many workers went through the owning-shard
+/// hand-off. A detached registry makes this a no-op.
+fn record_shard_metrics(
+    obs: &datawa_obs::MetricsRegistry,
+    per_shard: &[RunOutcome],
+    routing: &[ShardRouting],
+    boundary_workers: usize,
+) {
+    if !obs.is_attached() || routing.is_empty() {
+        return;
+    }
+    for (i, (outcome, route)) in per_shard.iter().zip(routing).enumerate() {
+        obs.gauge(&format!("shard.{i}.workers"))
+            .set(route.workers as i64);
+        obs.gauge(&format!("shard.{i}.tasks"))
+            .set(route.tasks as i64);
+        obs.gauge(&format!("shard.{i}.assigned"))
+            .set(outcome.assigned_tasks as i64);
+    }
+    let total_tasks: usize = routing.iter().map(|r| r.tasks).sum();
+    let max_tasks = routing.iter().map(|r| r.tasks).max().unwrap_or(0);
+    let skew_pct = (max_tasks * routing.len() * 100)
+        .checked_div(total_tasks)
+        .unwrap_or(100);
+    obs.gauge("shard.load_skew_pct").set(skew_pct as i64);
+    obs.gauge("shard.boundary_workers")
+        .set(boundary_workers as i64);
 }
 
 /// Steps every shard session at a global replan tick on the planner pool

@@ -12,6 +12,9 @@
 //! * [`tensor`] — the minimal autograd/NN substrate;
 //! * [`graph`] — chordal completion, maximal cliques, recursive tree
 //!   construction;
+//! * [`obs`] — the zero-overhead observability layer: metrics registry,
+//!   mergeable latency histograms, span timers, JSON snapshots and the
+//!   counting allocator used by the soak harness;
 //! * [`predict`] — task multivariate time series, DDGNN and the LSTM /
 //!   Graph-WaveNet baselines;
 //! * [`assign`] — reachable tasks, maximal valid sequences, DFSearch, the
@@ -43,6 +46,7 @@ pub use datawa_assign as assign;
 pub use datawa_core as core;
 pub use datawa_geo as geo;
 pub use datawa_graph as graph;
+pub use datawa_obs as obs;
 pub use datawa_predict as predict;
 pub use datawa_service as service;
 pub use datawa_sim as sim;
@@ -58,6 +62,7 @@ pub mod prelude {
     };
     pub use datawa_core::prelude::*;
     pub use datawa_geo::{GridSpec, ShardId, ShardMap, SpatialIndex, UniformGrid};
+    pub use datawa_obs::{Histogram, MetricsRegistry, MetricsSnapshot, SpanTimer};
     pub use datawa_predict::{
         DdgnnPredictor, DemandPredictor, GraphWaveNetPredictor, LstmPredictor,
         OnlineForecastConfig, OnlineForecaster, SeriesDataset, SeriesSpec, TrainingConfig,
