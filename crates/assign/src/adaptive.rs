@@ -7,6 +7,7 @@
 //! reports: the total number of assigned tasks and the CPU time spent planning
 //! at each time instance.
 
+use crate::cache::{DirtySet, IncrementalContext};
 use crate::config::AssignConfig;
 use crate::forecast::{ForecastProvider, ForecastStats, StaticForecast};
 use crate::planner::{Planner, SearchMode};
@@ -155,6 +156,14 @@ pub struct RunOutcome {
     /// Activity counters of the run's [`ForecastProvider`] (observations,
     /// forecast queries, model refreshes).
     pub forecast: ForecastStats,
+    /// Planning partitions whose plan was reused from the incremental plan
+    /// cache (or trivially skipped) instead of searched, summed over the
+    /// whole run. Zero when incremental replanning is off or inapplicable.
+    pub partitions_reused: usize,
+    /// Planning partitions actually searched, summed over the whole run.
+    /// With incremental replanning off this counts every partition of every
+    /// instant.
+    pub partitions_recomputed: usize,
 }
 
 /// The streaming adaptive runner (Algorithm 3).
@@ -232,6 +241,18 @@ struct AssignMetrics {
     /// `assign.available_workers`: idle available workers at the latest time
     /// instance.
     available_workers: Gauge,
+    /// `assign.partitions_reused`: partitions whose plan came from the
+    /// incremental plan cache (or was trivially empty) instead of a search.
+    partitions_reused: Counter,
+    /// `assign.partitions_recomputed`: partitions actually searched.
+    partitions_recomputed: Counter,
+    /// `assign.cache_hit_pct`: cumulative share of partitions reused so far
+    /// this run (0–100; the final value is the run-wide hit rate).
+    cache_hit_pct: Gauge,
+    /// `assign.dirty_fraction_pct`: per-instant share of partitions that
+    /// had to be recomputed (0–100) — the distribution of how dirty each
+    /// planning instant actually was.
+    dirty_fraction_pct: Histogram,
     /// `forecast.observed` / `forecast.queries` / `forecast.refreshes`:
     /// activity counters of the run's forecast provider (mirrored into
     /// gauges after each planning instant).
@@ -252,6 +273,10 @@ impl AssignMetrics {
             pool_occupancy: registry.gauge("assign.pool_occupancy"),
             open_tasks: registry.gauge("assign.open_tasks"),
             available_workers: registry.gauge("assign.available_workers"),
+            partitions_reused: registry.counter("assign.partitions_reused"),
+            partitions_recomputed: registry.counter("assign.partitions_recomputed"),
+            cache_hit_pct: registry.gauge("assign.cache_hit_pct"),
+            dirty_fraction_pct: registry.histogram("assign.dirty_fraction_pct"),
             forecast_observed: registry.gauge("forecast.observed"),
             forecast_queries: registry.gauge("forecast.queries"),
             forecast_refreshes: registry.gauge("forecast.refreshes"),
@@ -348,6 +373,7 @@ impl AdaptiveRunner {
             dispatch_log: Vec::new(),
             outcome: RunOutcome::default(),
             metrics: AssignMetrics::register(&self.obs),
+            dirty: DirtySet::default(),
         }
     }
 
@@ -455,6 +481,11 @@ pub struct RunnerState<'a, F: ForecastProvider + ?Sized = dyn ForecastProvider +
     dispatch_log: Vec<DispatchRecord>,
     outcome: RunOutcome,
     metrics: AssignMetrics,
+    /// Events recorded since the last planning instant (see
+    /// [`DirtySet`]): the diagnostic view of *why* the next incremental
+    /// plan will recompute whatever it recomputes. Cleared after every
+    /// planning call.
+    dirty: DirtySet,
 }
 
 impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
@@ -497,6 +528,13 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
         std::mem::take(&mut self.dispatch_log)
     }
 
+    /// Events recorded since the last planning instant (diagnostics; see
+    /// [`DirtySet`]).
+    #[inline]
+    pub fn dirty_set(&self) -> &DirtySet {
+        &self.dirty
+    }
+
     /// Inserts an arriving worker and returns its dense id.
     pub fn insert_worker(&mut self, worker: Worker) -> WorkerId {
         let id = self.workers.insert(worker);
@@ -507,6 +545,7 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
             fixed_assigned: false,
         });
         self.available_view.insert(id);
+        self.dirty.note_worker_online(id);
         id
     }
 
@@ -518,6 +557,7 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
         self.forecast.observe(task.publication, &task);
         let id = self.tasks.insert(task);
         self.open_view.insert(id);
+        self.dirty.note_task_arrival(id);
         id
     }
 
@@ -531,6 +571,7 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
     /// event-driven drivers when the expiration event fires). Returns whether
     /// the task was still in the view.
     pub fn expire_task(&mut self, id: TaskId) -> bool {
+        self.dirty.note_task_expiration(id);
         self.open_view.remove(id)
     }
 
@@ -544,6 +585,7 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
     /// there), which is why this is a flag and not the default behaviour of
     /// going offline.
     pub fn retire_worker(&mut self, id: WorkerId, release_plan: bool) {
+        self.dirty.note_worker_offline(id);
         self.available_view.remove(id);
         self.workers.get_mut(id).mode = WorkerMode::Offline;
         if release_plan {
@@ -560,6 +602,9 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
     /// still-servable task of its plan.
     pub fn step(&mut self, now: Timestamp, replan: bool) {
         let policy = self.runner.policy;
+        if replan {
+            self.dirty.note_replan_tick();
+        }
 
         // Idle, available workers at this instant (ascending id order, like
         // the full scans the incremental views replace).
@@ -612,6 +657,23 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
                 _ => idle_workers.clone(),
             };
             if !planning_workers.is_empty() {
+                // Incremental replanning context: only meaningful when the
+                // planning store holds exactly the open real tasks (no
+                // predicted phantoms — their planning ids are not stable
+                // across instants). `open_at` returns ascending dense ids,
+                // which is the order the cache's id translation relies on.
+                let epoch = self.forecast.stats().refreshes as u64;
+                self.dirty.note_forecast_epoch(epoch);
+                let all_real = mapping.len() == open_tasks.len();
+                let ctx = if all_real {
+                    debug_assert!(open_tasks.windows(2).all(|p| p[0].0 < p[1].0));
+                    Some(IncrementalContext {
+                        real_ids: &open_tasks,
+                        forecast_epoch: epoch,
+                    })
+                } else {
+                    None
+                };
                 let (assignment, report) = if policy == PolicyKind::DataWa {
                     let tvf = self
                         .runner
@@ -627,14 +689,16 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
                         tvf,
                     )
                 } else {
-                    self.planner.plan(
+                    self.planner.plan_incremental(
                         &planning_workers,
                         &planning_task_ids,
                         &self.workers,
                         &planning_store,
                         now,
+                        ctx.as_ref(),
                     )
                 };
+                self.dirty.clear();
                 self.outcome.planning_calls += 1;
                 self.outcome.total_planning_seconds += report.elapsed_seconds;
                 self.outcome.peak_partitions = self.outcome.peak_partitions.max(report.partitions);
@@ -644,6 +708,23 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
                     .max(report.max_partition_workers);
                 self.outcome.peak_pool_occupancy =
                     self.outcome.peak_pool_occupancy.max(report.threads_used);
+                self.outcome.partitions_reused += report.partitions_reused;
+                self.outcome.partitions_recomputed += report.partitions_recomputed;
+                self.metrics
+                    .partitions_reused
+                    .add(report.partitions_reused as u64);
+                self.metrics
+                    .partitions_recomputed
+                    .add(report.partitions_recomputed as u64);
+                let cumulative =
+                    self.outcome.partitions_reused + self.outcome.partitions_recomputed;
+                if let Some(pct) = (100 * self.outcome.partitions_reused).checked_div(cumulative) {
+                    self.metrics.cache_hit_pct.set(pct as i64);
+                }
+                let instant_total = report.partitions_reused + report.partitions_recomputed;
+                if let Some(pct) = (100 * report.partitions_recomputed).checked_div(instant_total) {
+                    self.metrics.dirty_fraction_pct.record(pct as u64);
+                }
                 self.metrics
                     .replan_seconds
                     .record_seconds(report.elapsed_seconds);
@@ -779,6 +860,8 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
                     *self.outcome.per_worker.entry(wid).or_insert(0) += 1;
                     self.runtime[wid.index()].busy_until = arrival;
                     self.workers.get_mut(wid).location = task.location;
+                    self.dirty.note_task_served(tid);
+                    self.dirty.note_worker_moved(wid);
                     self.metrics.dispatches.inc();
                     self.dispatch_log.push(DispatchRecord {
                         worker: wid,

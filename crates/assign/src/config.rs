@@ -2,6 +2,44 @@
 
 use datawa_core::TravelModel;
 
+/// Whether the planner may reuse per-partition plans across planning instants
+/// (see the crate-level "Incremental replanning" section).
+///
+/// Incremental replanning is bitwise output-preserving by construction, so it
+/// defaults to on; the `Off` escape hatch exists for A/B parity checks and as
+/// a kill switch, mirroring how `DATAWA_THREADS` pins the pool size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IncrementalMode {
+    /// Defer to the `DATAWA_INCREMENTAL` environment variable
+    /// (`off`/`0`/`false` disables; anything else — including unset —
+    /// enables). The default.
+    #[default]
+    Auto,
+    /// Force plan caching on regardless of the environment.
+    On,
+    /// Force full replanning at every instant regardless of the environment.
+    Off,
+}
+
+impl IncrementalMode {
+    /// Resolves the effective toggle, reading `DATAWA_INCREMENTAL` for
+    /// [`IncrementalMode::Auto`]. Read per call (not cached) so toggling the
+    /// variable between runs in one process behaves as expected.
+    pub fn enabled(self) -> bool {
+        match self {
+            IncrementalMode::On => true,
+            IncrementalMode::Off => false,
+            IncrementalMode::Auto => match std::env::var("DATAWA_INCREMENTAL") {
+                Ok(v) => !matches!(
+                    v.trim().to_ascii_lowercase().as_str(),
+                    "off" | "0" | "false"
+                ),
+                Err(_) => true,
+            },
+        }
+    }
+}
+
 /// Configuration shared by sequence generation, planning and the adaptive
 /// runner.
 ///
@@ -37,6 +75,11 @@ pub struct AssignConfig {
     /// are identical for every thread count by construction (partitions are
     /// worker- and task-disjoint and merge in partition order).
     pub threads: usize,
+    /// Whether the partitioned exact search may reuse cached per-partition
+    /// plans across planning instants (`DATAWA_INCREMENTAL` escape hatch via
+    /// [`IncrementalMode::Auto`]). Output is bitwise identical either way;
+    /// only the work done per instant changes.
+    pub incremental: IncrementalMode,
 }
 
 impl Default for AssignConfig {
@@ -49,6 +92,7 @@ impl Default for AssignConfig {
             search_node_budget: 20_000,
             use_dependency_separation: true,
             threads: 0,
+            incremental: IncrementalMode::Auto,
         }
     }
 }
@@ -82,5 +126,15 @@ mod tests {
     fn unit_speed_uses_unit_euclidean_travel() {
         let c = AssignConfig::unit_speed();
         assert_eq!(c.travel.speed, 1.0);
+    }
+
+    #[test]
+    fn incremental_mode_pins_override_the_environment() {
+        // `Auto` reads `DATAWA_INCREMENTAL` (not exercised here — tests
+        // share a process, so flipping the environment would race); the
+        // explicit pins must ignore it entirely.
+        assert!(IncrementalMode::On.enabled());
+        assert!(!IncrementalMode::Off.enabled());
+        assert_eq!(AssignConfig::default().incremental, IncrementalMode::Auto);
     }
 }

@@ -10,8 +10,43 @@
 //!
 //! The five evaluated methods (Greedy, FTA, DTA, DTA+TP, DATA-WA, §V-B.2) are
 //! exposed as [`PolicyKind`] variants interpreted by the adaptive runner.
+//!
+//! ## Incremental replanning
+//!
+//! The adaptive runner replans at every time instance, but most events touch
+//! only a handful of spatial clusters. The [`cache`] module makes the exact
+//! partitioned search *incremental*: work proportional to what changed,
+//! output bitwise identical to a full replan.
+//!
+//! * **Dirty-set rules** ([`DirtySet`]): every world event maps to what it
+//!   can invalidate — a task arrival dirties partitions whose workers could
+//!   reach the new task; an expiration/serve dirties partitions holding it;
+//!   a worker coming online, going offline, or moving dirties its partition;
+//!   a forecast refresh bumps the epoch and dirties every
+//!   prediction-influenced partition. The tracker is diagnostic: the planner
+//!   independently *verifies* every cached entry against the live stores, so
+//!   a missed hook can never corrupt a plan.
+//! * **Fingerprint definition** ([`PlanCache`]): each partition is keyed by
+//!   an FNV-1a hash over the forecast epoch, the sorted member worker ids,
+//!   each member's position / reachable distance / availability-window
+//!   edges (as exact `f64` bit patterns), and its reachable task list as
+//!   stable real ids. A probe additionally compares the regenerated
+//!   candidate sequences in full — hash collisions and `now`-dependent
+//!   sequence drift both degrade to a recompute, never a wrong reuse.
+//! * **Escape hatch**: `DATAWA_INCREMENTAL=off` (or
+//!   [`IncrementalMode::Off`] in [`AssignConfig`]) forces full replanning at
+//!   every instant, mirroring `DATAWA_THREADS`/`DATAWA_OBS`. Unset means on.
+//! * **Exemptions**: the TVF-guided search (DATA-WA) and instants planning
+//!   over predicted phantom tasks always take the full path — their inputs
+//!   depend on `now` in ways a content fingerprint cannot capture.
+//!
+//! Reuse is observable through `assign.partitions_reused` /
+//! `assign.partitions_recomputed` counters, the `assign.cache_hit_pct`
+//! gauge and the `assign.dirty_fraction_pct` histogram, and through
+//! [`RunOutcome`]'s reuse totals.
 
 pub mod adaptive;
+pub mod cache;
 pub mod config;
 pub mod forecast;
 pub mod partition;
@@ -26,11 +61,12 @@ pub use adaptive::{
     AdaptiveRunner, ArrivalEvent, DispatchRecord, PolicyKind, PredictedTaskInput, RunOutcome,
     RunnerState,
 };
-pub use config::AssignConfig;
+pub use cache::{DirtySet, IncrementalContext, PlanCache};
+pub use config::{AssignConfig, IncrementalMode};
 pub use forecast::{ForecastProvider, ForecastStats, StaticForecast};
 pub use partition::{split_cluster_tree, Partition};
 pub use planner::{Planner, PlanningReport, SearchMode};
 pub use reachable::{build_worker_dependency_graph, reachable_tasks, ReachableSets};
 pub use search::{DfSearch, SearchSample};
-pub use sequences::{generate_sequences, SequenceSet};
+pub use sequences::{generate_sequences, generate_sequences_into, GenScratch, SequenceSet};
 pub use tvf::{ActionFeatures, StateFeatures, TaskValueFunction, TvfInference};

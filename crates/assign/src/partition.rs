@@ -14,6 +14,18 @@
 //! depends only on its own inputs, and the planner merges results in
 //! partition-index order — never in thread-completion order. The assignment
 //! is therefore bitwise identical for every thread count.
+//!
+//! Identity across instants: a partition has no persistent name — its index
+//! changes whenever the dependency graph reshapes — so the incremental plan
+//! cache (see [`crate::cache`]) identifies it by *content fingerprint*
+//! instead: its member workers (with their exact kinematic state) plus
+//! their reachable task lists in stable real-id space. Two instants that
+//! produce a content-identical partition produce the same search output, no
+//! matter where in the tree it landed. On the incremental path, workers
+//! with empty reachable sets are excluded *before* the graph is built (each
+//! would form a trivial partition assigning nothing — they are counted as
+//! reused instead of materialised); the full path below keeps them as
+//! trivial partitions, and both paths assign such workers nothing.
 
 use crate::reachable::ReachableSets;
 use datawa_core::{TaskId, WorkerId};

@@ -22,14 +22,15 @@
 //! tasks, not the whole instant's, so training and inference see the same
 //! distribution regardless of how many partitions the instant split into.
 
+use crate::cache::{IncrementalContext, PlanCache};
 use crate::config::AssignConfig;
 use crate::partition::{split_cluster_tree, Partition};
 use crate::pool;
 use crate::reachable::{build_worker_dependency_graph, reachable_tasks};
 use crate::search::{DfSearch, SearchSample};
-use crate::sequences::{generate_sequences, SequenceSet};
+use crate::sequences::{generate_sequences_into, GenScratch, SequenceSet};
 use crate::tvf::{TaskValueFunction, TvfInference};
-use datawa_core::{Assignment, TaskId, TaskStore, Timestamp, WorkerId, WorkerStore};
+use datawa_core::{Assignment, TaskId, TaskSequence, TaskStore, Timestamp, WorkerId, WorkerStore};
 use datawa_graph::{ClusterTree, TreeNode, UnGraph};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -62,6 +63,14 @@ pub struct PlanningReport {
     /// guided search (which visits each worker exactly once), zero for the
     /// greedy baseline.
     pub nodes_expanded: usize,
+    /// Partitions whose plan was reused this instant instead of searched:
+    /// verified plan-cache hits plus workers with empty reachable sets
+    /// (each a trivial singleton partition assigning nothing). Zero on the
+    /// full (non-incremental) path.
+    pub partitions_reused: usize,
+    /// Partitions actually searched this instant. On the full path this is
+    /// every partition.
+    pub partitions_recomputed: usize,
 }
 
 /// How the planner searches each cluster tree.
@@ -93,6 +102,12 @@ pub struct Planner {
     /// Scratch: candidate sequences per worker, reused across planning calls
     /// (cleared, not reallocated).
     scratch_sequences: HashMap<WorkerId, SequenceSet>,
+    /// Scratch: sequence-generation buffers, reused across workers and
+    /// instants by every search mode (greedy included).
+    gen_scratch: GenScratch,
+    /// Incremental replanning state: verified per-worker reachable sets and
+    /// fingerprinted per-partition plans (see [`crate::cache`]).
+    cache: PlanCache,
 }
 
 impl Planner {
@@ -103,6 +118,8 @@ impl Planner {
             mode,
             tvf: None,
             scratch_sequences: HashMap::new(),
+            gen_scratch: GenScratch::default(),
+            cache: PlanCache::default(),
         }
     }
 
@@ -113,8 +130,18 @@ impl Planner {
         self
     }
 
+    /// Number of partition plans currently held by the incremental plan
+    /// cache (diagnostic; zero until an incremental planning call stores
+    /// one).
+    pub fn cached_partitions(&self) -> usize {
+        self.cache.cached_partitions()
+    }
+
     /// Plans task sequences for `worker_ids` over `candidate_tasks` at `now`
     /// (Algorithm 4), returning the assignment and planning diagnostics.
+    /// Always the full (non-incremental) path; streaming drivers that can
+    /// vouch for the caching preconditions call
+    /// [`Planner::plan_incremental`] instead.
     pub fn plan(
         &mut self,
         worker_ids: &[WorkerId],
@@ -123,12 +150,33 @@ impl Planner {
         tasks: &TaskStore,
         now: Timestamp,
     ) -> (Assignment, PlanningReport) {
+        self.plan_incremental(worker_ids, candidate_tasks, workers, tasks, now, None)
+    }
+
+    /// [`Planner::plan`] with an optional [`IncrementalContext`]: when the
+    /// caller supplies one (vouching that every candidate task is real and
+    /// mapping planning ids back to stable real ids), the exact partitioned
+    /// search may reuse cached per-partition plans from earlier instants —
+    /// bitwise identical output, work proportional to what changed. The
+    /// greedy and TVF-guided modes ignore the context (greedy has no
+    /// partitions; the guided search's TVF features depend on `now`, which
+    /// content fingerprints cannot capture), as does
+    /// [`IncrementalMode::Off`](crate::config::IncrementalMode).
+    pub fn plan_incremental(
+        &mut self,
+        worker_ids: &[WorkerId],
+        candidate_tasks: &[TaskId],
+        workers: &WorkerStore,
+        tasks: &TaskStore,
+        now: Timestamp,
+        ctx: Option<&IncrementalContext<'_>>,
+    ) -> (Assignment, PlanningReport) {
         match self.mode {
             SearchMode::Greedy => {
                 self.plan_greedy(worker_ids, candidate_tasks, workers, tasks, now)
             }
             SearchMode::Exact => {
-                self.plan_partitioned(worker_ids, candidate_tasks, workers, tasks, now, None)
+                self.plan_partitioned(worker_ids, candidate_tasks, workers, tasks, now, None, ctx)
             }
             SearchMode::Guided => {
                 // Detach the snapshot for the duration of the call so the
@@ -144,6 +192,7 @@ impl Planner {
                     tasks,
                     now,
                     Some(&tvf),
+                    None,
                 );
                 self.tvf = Some(tvf);
                 out
@@ -163,7 +212,15 @@ impl Planner {
         now: Timestamp,
         tvf: &TvfInference,
     ) -> (Assignment, PlanningReport) {
-        self.plan_partitioned(worker_ids, candidate_tasks, workers, tasks, now, Some(tvf))
+        self.plan_partitioned(
+            worker_ids,
+            candidate_tasks,
+            workers,
+            tasks,
+            now,
+            Some(tvf),
+            None,
+        )
     }
 
     /// The greedy baseline: no dependency graph, no partitions, one ordered
@@ -192,6 +249,7 @@ impl Planner {
         report.mean_reachable = reachable.mean_reachable();
         let sequences = Self::fill_sequences(
             &mut self.scratch_sequences,
+            &mut self.gen_scratch,
             worker_ids,
             workers,
             tasks,
@@ -212,6 +270,7 @@ impl Planner {
     /// split the instant into independent partitions, search each partition
     /// against its own available set on the pool, and merge in partition
     /// order.
+    #[allow(clippy::too_many_arguments)]
     fn plan_partitioned(
         &mut self,
         worker_ids: &[WorkerId],
@@ -220,6 +279,7 @@ impl Planner {
         tasks: &TaskStore,
         now: Timestamp,
         tvf: Option<&TvfInference>,
+        ctx: Option<&IncrementalContext<'_>>,
     ) -> (Assignment, PlanningReport) {
         let start = Instant::now();
         let mut report = PlanningReport {
@@ -232,12 +292,29 @@ impl Planner {
             report.elapsed_seconds = start.elapsed().as_secs_f64();
             return (Assignment::new(), report);
         }
-        // Lines 2–5: reachable tasks and candidate sequences per worker.
         let config = self.config;
+        // Incremental route: exact search only (TVF features depend on
+        // `now`), with the caller's context and the toggle both agreeing.
+        if tvf.is_none() && config.incremental.enabled() {
+            if let Some(ctx) = ctx {
+                return self.plan_partitioned_incremental(
+                    worker_ids,
+                    candidate_tasks,
+                    workers,
+                    tasks,
+                    now,
+                    ctx,
+                    start,
+                    report,
+                );
+            }
+        }
+        // Lines 2–5: reachable tasks and candidate sequences per worker.
         let reachable = reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &config, now);
         report.mean_reachable = reachable.mean_reachable();
         let sequences = Self::fill_sequences(
             &mut self.scratch_sequences,
+            &mut self.gen_scratch,
             worker_ids,
             workers,
             tasks,
@@ -254,6 +331,7 @@ impl Planner {
         report.tree_nodes = tree.len();
         let partitions = split_cluster_tree(&tree, &mapping, &reachable);
         report.partitions = partitions.len();
+        report.partitions_recomputed = partitions.len();
         report.max_partition_workers = partitions
             .iter()
             .map(|p| p.worker_ids.len())
@@ -286,6 +364,128 @@ impl Planner {
         (assignment, report)
     }
 
+    /// The incremental twin of the exact partitioned path. Reachable sets
+    /// are refreshed through the plan cache (per-worker verify-or-rescan),
+    /// workers with empty reachable sets are excluded before the dependency
+    /// graph is built (each would form a trivial singleton partition
+    /// assigning nothing — counted as reused), candidate sequences are
+    /// regenerated for every included worker (they are `now`-dependent, so
+    /// they are part of the cache-hit criterion rather than cached output),
+    /// and only fingerprint-missed partitions are searched. Splicing in
+    /// partition-index order keeps the output bitwise identical to the full
+    /// path at every thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_partitioned_incremental(
+        &mut self,
+        worker_ids: &[WorkerId],
+        candidate_tasks: &[TaskId],
+        workers: &WorkerStore,
+        tasks: &TaskStore,
+        now: Timestamp,
+        ctx: &IncrementalContext<'_>,
+        start: Instant,
+        mut report: PlanningReport,
+    ) -> (Assignment, PlanningReport) {
+        let config = self.config;
+        debug_assert_eq!(
+            ctx.real_ids.len(),
+            candidate_tasks.len(),
+            "incremental context must map every candidate task"
+        );
+        let (reachable, _rescanned) = self.cache.refresh_reachable(
+            worker_ids,
+            candidate_tasks,
+            ctx.real_ids,
+            workers,
+            tasks,
+            &config,
+            now,
+        );
+        report.mean_reachable = reachable.mean_reachable();
+        let included: Vec<WorkerId> = worker_ids
+            .iter()
+            .copied()
+            .filter(|&w| !reachable.of(w).is_empty())
+            .collect();
+        let excluded = worker_ids.len() - included.len();
+        if included.is_empty() {
+            report.partitions_reused = excluded;
+            report.elapsed_seconds = start.elapsed().as_secs_f64();
+            return (Assignment::new(), report);
+        }
+        let sequences = Self::fill_sequences(
+            &mut self.scratch_sequences,
+            &mut self.gen_scratch,
+            &included,
+            workers,
+            tasks,
+            &reachable,
+            &config,
+            now,
+        );
+        let search = DfSearch::new(workers, tasks, &config, now, sequences, &reachable);
+        let (graph, mapping) = build_worker_dependency_graph(&included, &reachable);
+        let tree = build_tree(&config, &graph);
+        report.tree_nodes = tree.len();
+        let partitions = split_cluster_tree(&tree, &mapping, &reachable);
+        report.partitions = partitions.len();
+        report.max_partition_workers = partitions
+            .iter()
+            .map(|p| p.worker_ids.len())
+            .max()
+            .unwrap_or(0);
+        let epoch = ctx.forecast_epoch;
+        // Sequential probe pre-pass: hits splice their translated stored
+        // plan, misses queue for the pool.
+        type Slot = (Vec<(WorkerId, TaskSequence)>, usize);
+        let mut slots: Vec<Option<Slot>> = Vec::with_capacity(partitions.len());
+        let mut keys: Vec<u64> = Vec::with_capacity(partitions.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for p in &partitions {
+            let (key, hit) = self.cache.probe(p, sequences, ctx.real_ids, workers, epoch);
+            keys.push(key);
+            match hit {
+                Some(plan) => slots.push(Some((plan, 0))),
+                None => {
+                    misses.push(p.index);
+                    slots.push(None);
+                }
+            }
+        }
+        let hits = partitions.len() - misses.len();
+        report.partitions_reused = excluded + hits;
+        report.partitions_recomputed = misses.len();
+        let threads = pool::effective_threads(config.threads);
+        report.threads_used = threads.min(misses.len()).max(1);
+        let miss_parts: Vec<&Partition> = misses.iter().map(|&i| &partitions[i]).collect();
+        let computed = pool::run_indexed(threads, &miss_parts, |_, p: &&Partition| {
+            let mut available = p.task_set();
+            search.exact_partition_counted(&tree, &mapping, p.root, &mut available, None)
+        });
+        for (&i, plan) in misses.iter().zip(computed) {
+            self.cache.store(
+                keys[i],
+                &partitions[i],
+                sequences,
+                ctx.real_ids,
+                workers,
+                epoch,
+                &plan.0,
+            );
+            slots[i] = Some(plan);
+        }
+        let mut assignment = Assignment::new();
+        for slot in slots {
+            let (plan, nodes) = slot.expect("every partition resolved");
+            report.nodes_expanded += nodes;
+            for (w, seq) in plan {
+                assignment.set(w, seq);
+            }
+        }
+        report.elapsed_seconds = start.elapsed().as_secs_f64();
+        (assignment, report)
+    }
+
     /// Runs the exact search while collecting `(state, action, opt)` samples
     /// for TVF training (the data-gathering phase of §IV-B). Partitions are
     /// searched sequentially (sample order must stay deterministic) against
@@ -306,6 +506,7 @@ impl Planner {
         let reachable = reachable_tasks(worker_ids, candidate_tasks, workers, tasks, &config, now);
         let sequences = Self::fill_sequences(
             &mut self.scratch_sequences,
+            &mut self.gen_scratch,
             worker_ids,
             workers,
             tasks,
@@ -327,10 +528,13 @@ impl Planner {
     }
 
     /// Rebuilds the per-worker sequence map into the reusable scratch buffer
-    /// and returns it as a shared borrow for the search.
+    /// and returns it as a shared borrow for the search. Generation runs
+    /// through the pooled [`GenScratch`] buffers (every search mode, greedy
+    /// included), so the per-call allocation cost is amortised away.
     #[allow(clippy::too_many_arguments)]
     fn fill_sequences<'a>(
         scratch: &'a mut HashMap<WorkerId, SequenceSet>,
+        gen: &mut GenScratch,
         worker_ids: &[WorkerId],
         workers: &WorkerStore,
         tasks: &TaskStore,
@@ -343,7 +547,7 @@ impl Planner {
         for &w in worker_ids {
             scratch.insert(
                 w,
-                generate_sequences(workers.get(w), reachable.of(w), tasks, config, now),
+                generate_sequences_into(gen, workers.get(w), reachable.of(w), tasks, config, now),
             );
         }
         scratch

@@ -39,6 +39,33 @@ impl SequenceSet {
     }
 }
 
+/// Reusable allocation scratch for [`generate_sequences_into`].
+///
+/// Sequence generation runs once per planning worker per planning instant —
+/// the deepest allocation hot spot of the replan path. The scratch keeps the
+/// per-task-set map, the DFS prefix, the key staging buffer and a free list
+/// of retired task-set keys alive across calls, so both the greedy baseline
+/// and the partitioned path (which share the planner's scratch) pay the
+/// allocations once instead of per worker per instant. Output is byte
+/// identical to the plain [`generate_sequences`]: the candidate order is
+/// pinned by a total sort, never by map iteration order.
+#[derive(Debug, Default)]
+pub struct GenScratch {
+    /// best completion time per task-set key (sorted ids).
+    best: HashMap<Vec<TaskId>, (TaskSequence, Timestamp)>,
+    /// DFS prefix.
+    current: Vec<TaskId>,
+    /// Staging buffer for the sorted task-set key of the current prefix.
+    key: Vec<TaskId>,
+    /// Retired key vectors, recycled into future map inserts.
+    free_keys: Vec<Vec<TaskId>>,
+    /// Surviving (sequence, completion) pairs, pre-sort.
+    sorted: Vec<(TaskSequence, Timestamp)>,
+}
+
+/// Retired-key pool bound — enough to cover `|Q_w|` at the default caps.
+const MAX_FREE_KEYS: usize = 256;
+
 /// Enumerates `Q_w` for `worker` over its reachable tasks.
 ///
 /// Depth-first enumeration over orderings with pruning: a prefix that violates
@@ -54,19 +81,44 @@ pub fn generate_sequences(
     config: &AssignConfig,
     now: Timestamp,
 ) -> SequenceSet {
-    // best completion time per task-set key (sorted ids).
-    let mut best: HashMap<Vec<TaskId>, (TaskSequence, Timestamp)> = HashMap::new();
-    let mut current: Vec<TaskId> = Vec::new();
-    let max_len = config.max_sequence_len.min(reachable.len());
-    dfs(
+    generate_sequences_into(
+        &mut GenScratch::default(),
         worker,
         reachable,
         tasks,
         config,
         now,
-        &mut current,
-        max_len,
-        &mut best,
+    )
+}
+
+/// [`generate_sequences`] against caller-owned scratch buffers (the hot-path
+/// entry point: the planner keeps one [`GenScratch`] alive across instants).
+pub fn generate_sequences_into(
+    scratch: &mut GenScratch,
+    worker: &Worker,
+    reachable: &[TaskId],
+    tasks: &TaskStore,
+    config: &AssignConfig,
+    now: Timestamp,
+) -> SequenceSet {
+    // Recycle the previous call's key vectors instead of dropping them.
+    let GenScratch {
+        best,
+        current,
+        key,
+        free_keys,
+        sorted,
+    } = scratch;
+    for (k, _) in best.drain() {
+        if free_keys.len() < MAX_FREE_KEYS {
+            free_keys.push(k);
+        }
+    }
+    current.clear();
+    sorted.clear();
+    let max_len = config.max_sequence_len.min(reachable.len());
+    dfs(
+        worker, reachable, tasks, config, now, current, key, free_keys, max_len, best,
     );
     let mut keys: Vec<Vec<TaskId>> = best.keys().cloned().collect();
     if !config.include_subsets {
@@ -76,11 +128,11 @@ pub fn generate_sequences(
                 .any(|other| other.len() > k.len() && k.iter().all(|t| other.contains(t)))
         });
     }
-    let mut sequences: Vec<(TaskSequence, Timestamp)> = keys
-        .into_iter()
-        .map(|k| best.get(&k).expect("key from map").clone())
-        .collect();
-    sequences.sort_by(|a, b| {
+    sorted.extend(
+        keys.into_iter()
+            .map(|k| best.get(&k).expect("key from map").clone()),
+    );
+    sorted.sort_by(|a, b| {
         b.0.len()
             .cmp(&a.0.len())
             .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
@@ -93,7 +145,7 @@ pub fn generate_sequences(
             .then_with(|| a.0.iter().cmp(b.0.iter()))
     });
     SequenceSet {
-        sequences: sequences.into_iter().map(|(s, _)| s).collect(),
+        sequences: sorted.drain(..).map(|(s, _)| s).collect(),
     }
 }
 
@@ -105,6 +157,8 @@ fn dfs(
     config: &AssignConfig,
     now: Timestamp,
     current: &mut Vec<TaskId>,
+    key: &mut Vec<TaskId>,
+    free_keys: &mut Vec<Vec<TaskId>>,
     max_len: usize,
     best: &mut HashMap<Vec<TaskId>, (TaskSequence, Timestamp)>,
 ) {
@@ -119,16 +173,32 @@ fn dfs(
         let sequence = TaskSequence::from_ids(current.iter().copied());
         if sequence.is_valid(worker, tasks, &config.travel, now) {
             let completion = sequence.completion_time(worker, tasks, &config.travel, now);
-            let mut key: Vec<TaskId> = current.clone();
+            // Stage the sorted task-set key in the reusable buffer; a fresh
+            // vector (recycled when possible) is materialised only on first
+            // insert for this set.
+            key.clear();
+            key.extend_from_slice(current);
             key.sort_unstable();
-            let entry = best
-                .entry(key)
-                .or_insert_with(|| (sequence.clone(), completion));
-            if completion < entry.1 {
-                *entry = (sequence.clone(), completion);
+            match best.get_mut(key.as_slice()) {
+                Some(entry) => {
+                    if completion < entry.1 {
+                        *entry = (sequence.clone(), completion);
+                    }
+                }
+                None => {
+                    let owned = match free_keys.pop() {
+                        Some(mut k) => {
+                            k.clear();
+                            k.extend_from_slice(key);
+                            k
+                        }
+                        None => key.clone(),
+                    };
+                    best.insert(owned, (sequence.clone(), completion));
+                }
             }
             dfs(
-                worker, reachable, tasks, config, now, current, max_len, best,
+                worker, reachable, tasks, config, now, current, key, free_keys, max_len, best,
             );
         }
         current.pop();
@@ -250,6 +320,27 @@ mod tests {
         assert!(!qs.is_empty());
         for seq in qs.iter() {
             assert!(seq.is_valid(&worker, &tasks, &config.travel, Timestamp(0.0)));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh_generation() {
+        let tasks = store(&[(0.5, 5.0), (1.5, 6.0), (2.5, 4.0), (0.8, 9.0)]);
+        let worker = worker_at_origin(2.0, 7.0);
+        let config = AssignConfig::unit_speed();
+        let reachable: Vec<TaskId> = tasks.ids().collect();
+        let mut scratch = GenScratch::default();
+        for round in 0..3 {
+            let pooled = generate_sequences_into(
+                &mut scratch,
+                &worker,
+                &reachable,
+                &tasks,
+                &config,
+                Timestamp(0.0),
+            );
+            let fresh = generate_sequences(&worker, &reachable, &tasks, &config, Timestamp(0.0));
+            assert_eq!(pooled.sequences, fresh.sequences, "round {round}");
         }
     }
 

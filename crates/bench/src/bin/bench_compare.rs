@@ -1,0 +1,199 @@
+//! Regression gate over soak reports: compares the latest two numeric-tag
+//! `BENCH_<n>.json` files and fails when replan latency regresses.
+//!
+//! ```text
+//! bench_compare [--dir DIR]        # latest two BENCH_<n>.json under DIR
+//! bench_compare --files OLD NEW    # explicit report pair
+//! bench_compare --parity A B       # assignment parity instead of latency
+//! ```
+//!
+//! Latency mode matches runs by `(scenario, threads)` — runs present in only
+//! one report are skipped, as are `forecast: "online"` rows (their event
+//! target and policy differ from the grid's, so their latencies are a
+//! different population). A matched run fails when
+//! `new p50 > old p50 * 1.2 + 0.05 ms`; the additive floor keeps sub-0.1 ms
+//! runs from tripping the gate on scheduler noise.
+//!
+//! Parity mode (`--parity`) is the `DATAWA_INCREMENTAL=off` check: the two
+//! reports must agree *exactly* on `assigned_tasks` and `planning_calls` for
+//! every matched run — incremental replanning is required to be
+//! output-invisible, so any drift is a correctness bug, not a regression.
+//!
+//! Prints `bench_compare_ok=1` on success; exits nonzero with a per-run
+//! verdict table on failure.
+
+use datawa_obs::JsonValue;
+use std::process::exit;
+
+/// Allowed relative p50 growth (20%) plus an absolute floor for runs whose
+/// p50 is so small that relative noise dominates.
+const MAX_RELATIVE_GROWTH: f64 = 1.2;
+const ABSOLUTE_FLOOR_MS: f64 = 0.05;
+
+struct RunKey {
+    scenario: String,
+    threads: u64,
+    online: bool,
+}
+
+struct Run {
+    key: RunKey,
+    p50_ms: f64,
+    assigned_tasks: u64,
+    planning_calls: u64,
+}
+
+fn load_runs(path: &str) -> Vec<Run> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_compare: cannot read {path}: {e}"));
+    let parsed = JsonValue::parse(&text).unwrap_or_else(|e| panic!("bench_compare: {path}: {e:?}"));
+    parsed
+        .get("runs")
+        .unwrap_or_else(|| panic!("bench_compare: {path} has no runs key"))
+        .items()
+        .iter()
+        .map(|run| {
+            let field = |name: &str| {
+                run.get(name)
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or_else(|| panic!("bench_compare: {path}: run missing {name}"))
+            };
+            Run {
+                key: RunKey {
+                    scenario: run
+                        .get("scenario")
+                        .and_then(JsonValue::as_str)
+                        .expect("run has a scenario")
+                        .to_string(),
+                    threads: field("threads"),
+                    // Pre-incremental reports have no forecast marker; all
+                    // their rows used the static provider.
+                    online: run.get("forecast").and_then(JsonValue::as_str) == Some("online"),
+                },
+                p50_ms: run
+                    .get("replan")
+                    .and_then(|r| r.get("p50_ms"))
+                    .and_then(JsonValue::as_f64)
+                    .expect("run has replan.p50_ms"),
+                assigned_tasks: field("assigned_tasks"),
+                planning_calls: field("planning_calls"),
+            }
+        })
+        .collect()
+}
+
+/// The two most recent numeric-tag reports under `dir`, oldest first.
+/// Non-numeric tags (`BENCH_smoke.json`, …) are working files of the CI
+/// smoke jobs, not part of the committed history, so they never gate.
+fn latest_pair(dir: &str) -> (String, String) {
+    let mut tagged: Vec<(u64, String)> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("bench_compare: cannot list {dir}: {e}"))
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            let tag = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+            Some((tag.parse().ok()?, format!("{dir}/{name}")))
+        })
+        .collect();
+    tagged.sort();
+    match tagged.len() {
+        0 | 1 => {
+            println!(
+                "bench_compare: fewer than two numeric BENCH_<n>.json files in {dir}; \
+                 nothing to compare"
+            );
+            println!("bench_compare_ok=1");
+            exit(0);
+        }
+        n => (tagged[n - 2].1.clone(), tagged[n - 1].1.clone()),
+    }
+}
+
+fn matched<'a>(old: &'a [Run], new: &'a [Run]) -> Vec<(&'a Run, &'a Run)> {
+    new.iter()
+        .filter_map(|n| {
+            old.iter()
+                .find(|o| {
+                    o.key.scenario == n.key.scenario
+                        && o.key.threads == n.key.threads
+                        && o.key.online == n.key.online
+                })
+                .map(|o| (o, n))
+        })
+        .collect()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path, parity) = match argv.iter().map(String::as_str).collect::<Vec<_>>()[..]
+    {
+        [] => {
+            let (o, n) = latest_pair(".");
+            (o, n, false)
+        }
+        ["--dir", dir] => {
+            let (o, n) = latest_pair(dir);
+            (o, n, false)
+        }
+        ["--files", o, n] => (o.to_string(), n.to_string(), false),
+        ["--parity", a, b] => (a.to_string(), b.to_string(), true),
+        _ => panic!("usage: bench_compare [--dir DIR | --files OLD NEW | --parity A B]"),
+    };
+
+    let old_runs = load_runs(&old_path);
+    let new_runs = load_runs(&new_path);
+    let pairs = matched(&old_runs, &new_runs);
+    assert!(
+        !pairs.is_empty(),
+        "bench_compare: {old_path} and {new_path} share no (scenario, threads) runs"
+    );
+
+    let mut failures = 0;
+    for (old, new) in &pairs {
+        let key = format!(
+            "{} threads={}{}",
+            new.key.scenario,
+            new.key.threads,
+            if new.key.online { " (online)" } else { "" }
+        );
+        if parity {
+            let ok = old.assigned_tasks == new.assigned_tasks
+                && old.planning_calls == new.planning_calls;
+            println!(
+                "{} {key}: assigned {} vs {}, planning_calls {} vs {}",
+                if ok { "ok  " } else { "FAIL" },
+                old.assigned_tasks,
+                new.assigned_tasks,
+                old.planning_calls,
+                new.planning_calls,
+            );
+            failures += usize::from(!ok);
+        } else {
+            if new.key.online {
+                continue;
+            }
+            let limit = old.p50_ms * MAX_RELATIVE_GROWTH + ABSOLUTE_FLOOR_MS;
+            let ok = new.p50_ms <= limit;
+            println!(
+                "{} {key}: p50 {:.3} ms -> {:.3} ms (limit {:.3} ms)",
+                if ok { "ok  " } else { "FAIL" },
+                old.p50_ms,
+                new.p50_ms,
+                limit,
+            );
+            failures += usize::from(!ok);
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_compare: {failures} run(s) {} between {old_path} and {new_path}",
+            if parity {
+                "diverged"
+            } else {
+                "regressed >20% on replan p50"
+            }
+        );
+        exit(1);
+    }
+    println!("bench_compare_ok=1");
+}

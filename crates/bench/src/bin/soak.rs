@@ -18,8 +18,11 @@
 //! The report is self-validated before the final `soak_ok=1` line: the file
 //! is parsed back and every run must show a finite, nonzero replan p99.
 
-use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind, StaticForecast};
+use datawa_assign::{AdaptiveRunner, AssignConfig, ForecastProvider, PolicyKind, StaticForecast};
+use datawa_core::{BoundingBox, Location, Timestamp};
+use datawa_geo::{GridSpec, UniformGrid};
 use datawa_obs::{CountingAlloc, JsonValue, MetricsRegistry};
+use datawa_predict::{DdgnnPredictor, OnlineForecastConfig, OnlineForecaster, SeriesSpec};
 use datawa_service::{IngestSource, SourcePoll, WorkloadSource};
 use datawa_stream::{builtin_scenarios, EngineConfig, NullSink, ScenarioSpec, Session};
 use std::time::Instant;
@@ -101,11 +104,15 @@ struct ComboOutcome {
 }
 
 /// Pumps reseeded sessions of `scenario_index` through `runner` until
-/// `target_events` lifecycle events have been processed.
-fn soak_combo(
+/// `target_events` lifecycle events have been processed. Each session gets
+/// a fresh forecast provider from `make_forecast` (seeded like the
+/// workload), so online providers start cold per session just like the
+/// session's own state does.
+fn soak_combo<F: ForecastProvider>(
     scenario_index: usize,
     runner: &AdaptiveRunner,
     target_events: usize,
+    make_forecast: impl Fn(u64) -> F,
 ) -> ComboOutcome {
     let mut outcome = ComboOutcome {
         sessions: 0,
@@ -120,7 +127,7 @@ fn soak_combo(
         let workload = builtin_scenarios(session_spec(seed))
             .swap_remove(scenario_index)
             .generate();
-        let mut forecast = StaticForecast::default();
+        let mut forecast = make_forecast(seed);
         let mut sink = NullSink;
         let started = Instant::now();
         let mut session = Session::open(runner, &mut forecast, EngineConfig::batched(64));
@@ -170,6 +177,128 @@ fn counter(snapshot: &datawa_obs::MetricsSnapshot, name: &str) -> u64 {
     snapshot.counters.get(name).copied().unwrap_or(0)
 }
 
+/// One `runs[]` entry of the report. `forecast_kind` is `"static"` for the
+/// grid runs and `"online"` for the DDGNN-backed extra run; comparison
+/// tooling keys on it to avoid mixing the two populations.
+fn run_row(
+    scenario: &str,
+    threads: usize,
+    forecast_kind: &str,
+    outcome: &ComboOutcome,
+    snapshot: &datawa_obs::MetricsSnapshot,
+    allocations_before: usize,
+) -> JsonValue {
+    let events_per_sec = outcome.events as f64 / outcome.wall_seconds.max(1e-9);
+    let reused = counter(snapshot, "assign.partitions_reused");
+    let recomputed = counter(snapshot, "assign.partitions_recomputed");
+    let cache_hit_pct = if reused + recomputed > 0 {
+        100.0 * reused as f64 / (reused + recomputed) as f64
+    } else {
+        0.0
+    };
+    JsonValue::object(vec![
+        ("scenario".into(), JsonValue::string(scenario)),
+        ("threads".into(), JsonValue::from_u64(threads as u64)),
+        ("forecast".into(), JsonValue::string(forecast_kind)),
+        (
+            "sessions".into(),
+            JsonValue::from_u64(outcome.sessions as u64),
+        ),
+        ("events".into(), JsonValue::from_u64(outcome.events as u64)),
+        (
+            "arrivals".into(),
+            JsonValue::from_u64(outcome.arrivals as u64),
+        ),
+        (
+            "assigned_tasks".into(),
+            JsonValue::from_u64(outcome.assigned_tasks as u64),
+        ),
+        (
+            "planning_calls".into(),
+            JsonValue::from_u64(outcome.planning_calls as u64),
+        ),
+        (
+            "wall_seconds".into(),
+            JsonValue::from_f64(outcome.wall_seconds),
+        ),
+        ("events_per_sec".into(), JsonValue::from_f64(events_per_sec)),
+        (
+            "replan".into(),
+            histogram_ms(snapshot, "assign.replan_seconds"),
+        ),
+        ("partitions_reused".into(), JsonValue::from_u64(reused)),
+        (
+            "partitions_recomputed".into(),
+            JsonValue::from_u64(recomputed),
+        ),
+        ("cache_hit_pct".into(), JsonValue::from_f64(cache_hit_pct)),
+        (
+            "forecast_queries".into(),
+            JsonValue::from_u64(gauge_high_water(snapshot, "forecast.queries")),
+        ),
+        (
+            "forecast_refreshes".into(),
+            JsonValue::from_u64(gauge_high_water(snapshot, "forecast.refreshes")),
+        ),
+        (
+            "partitions_peak".into(),
+            JsonValue::from_u64(gauge_high_water(snapshot, "assign.partitions")),
+        ),
+        (
+            "max_partition_workers".into(),
+            JsonValue::from_u64(gauge_high_water(snapshot, "assign.partition_workers")),
+        ),
+        (
+            "pool_occupancy_peak".into(),
+            JsonValue::from_u64(gauge_high_water(snapshot, "assign.pool_occupancy")),
+        ),
+        (
+            "search_nodes".into(),
+            JsonValue::from_u64(counter(snapshot, "assign.search_nodes")),
+        ),
+        (
+            "queue_depth_high_water".into(),
+            JsonValue::from_u64(gauge_high_water(snapshot, "stream.queue_depth")),
+        ),
+        (
+            "mem_high_water_bytes".into(),
+            JsonValue::from_u64(ALLOC.high_water_bytes() as u64),
+        ),
+        (
+            "allocations".into(),
+            JsonValue::from_u64((ALLOC.allocation_count() - allocations_before) as u64),
+        ),
+        ("metrics".into(), snapshot.to_json_value()),
+    ])
+}
+
+/// A cold, untrained DDGNN-backed [`OnlineForecaster`] over a 4x4 grid of
+/// the session area. The model learns nothing useful at soak scale — that
+/// is fine: the point is to exercise the query/refresh path (and the plan
+/// cache's forecast-epoch invalidation) end to end, not to predict well.
+fn online_forecaster(seed: u64) -> OnlineForecaster {
+    let spec = session_spec(seed);
+    let grid = UniformGrid::new(GridSpec::new(
+        BoundingBox::new(
+            Location::new(0.0, 0.0),
+            Location::new(spec.area_km, spec.area_km),
+        ),
+        4,
+        4,
+    ));
+    let model = DdgnnPredictor::with_defaults(grid.cell_count(), 3, seed);
+    OnlineForecaster::new(
+        Box::new(model),
+        grid,
+        SeriesSpec::new(Timestamp(0.0), 10.0, 3, 4),
+        OnlineForecastConfig {
+            threshold: 0.6,
+            valid_time: spec.valid_time,
+            refresh_every: 30.0,
+        },
+    )
+}
+
 fn main() {
     let args = Args::parse();
     let scenario_names: Vec<&'static str> = builtin_scenarios(ScenarioSpec::small())
@@ -188,74 +317,69 @@ fn main() {
                 ..AssignConfig::default()
             };
             let runner = AdaptiveRunner::new(config, args.policy).with_metrics(registry.clone());
-            let outcome = soak_combo(scenario_index, &runner, args.events);
+            let outcome = soak_combo(scenario_index, &runner, args.events, |_| {
+                StaticForecast::default()
+            });
             let snapshot = registry.snapshot();
-            let events_per_sec = outcome.events as f64 / outcome.wall_seconds.max(1e-9);
             eprintln!(
                 "soak: {scenario} threads={threads} events={} sessions={} \
                  {:.0} events/sec",
-                outcome.events, outcome.sessions, events_per_sec
+                outcome.events,
+                outcome.sessions,
+                outcome.events as f64 / outcome.wall_seconds.max(1e-9)
             );
-            runs.push(JsonValue::object(vec![
-                ("scenario".into(), JsonValue::string(*scenario)),
-                ("threads".into(), JsonValue::from_u64(threads as u64)),
-                (
-                    "sessions".into(),
-                    JsonValue::from_u64(outcome.sessions as u64),
-                ),
-                ("events".into(), JsonValue::from_u64(outcome.events as u64)),
-                (
-                    "arrivals".into(),
-                    JsonValue::from_u64(outcome.arrivals as u64),
-                ),
-                (
-                    "assigned_tasks".into(),
-                    JsonValue::from_u64(outcome.assigned_tasks as u64),
-                ),
-                (
-                    "planning_calls".into(),
-                    JsonValue::from_u64(outcome.planning_calls as u64),
-                ),
-                (
-                    "wall_seconds".into(),
-                    JsonValue::from_f64(outcome.wall_seconds),
-                ),
-                ("events_per_sec".into(), JsonValue::from_f64(events_per_sec)),
-                (
-                    "replan".into(),
-                    histogram_ms(&snapshot, "assign.replan_seconds"),
-                ),
-                (
-                    "partitions_peak".into(),
-                    JsonValue::from_u64(gauge_high_water(&snapshot, "assign.partitions")),
-                ),
-                (
-                    "max_partition_workers".into(),
-                    JsonValue::from_u64(gauge_high_water(&snapshot, "assign.partition_workers")),
-                ),
-                (
-                    "pool_occupancy_peak".into(),
-                    JsonValue::from_u64(gauge_high_water(&snapshot, "assign.pool_occupancy")),
-                ),
-                (
-                    "search_nodes".into(),
-                    JsonValue::from_u64(counter(&snapshot, "assign.search_nodes")),
-                ),
-                (
-                    "queue_depth_high_water".into(),
-                    JsonValue::from_u64(gauge_high_water(&snapshot, "stream.queue_depth")),
-                ),
-                (
-                    "mem_high_water_bytes".into(),
-                    JsonValue::from_u64(ALLOC.high_water_bytes() as u64),
-                ),
-                (
-                    "allocations".into(),
-                    JsonValue::from_u64((ALLOC.allocation_count() - allocations_before) as u64),
-                ),
-                ("metrics".into(), snapshot.to_json_value()),
-            ]));
+            runs.push(run_row(
+                scenario,
+                threads,
+                "static",
+                &outcome,
+                &snapshot,
+                allocations_before,
+            ));
         }
+    }
+
+    // One extra run through a live [`OnlineForecaster`]: BENCH_6 showed
+    // `forecast.queries = 0` across the whole grid (the static provider is
+    // never asked anything by the blind DTA policy), so the plan cache's
+    // forecast-epoch invalidation was a soak blind spot. DTA+TP over a cold
+    // DDGNN on hotspot-drift queries and refreshes the model for real. The
+    // event target is a tenth of the grid runs' — the online model makes
+    // this path ~10x slower per event and the point is coverage, not
+    // throughput numbers (comparison tooling skips `forecast: "online"`
+    // rows).
+    {
+        let scenario_index = scenario_names
+            .iter()
+            .position(|s| *s == "hotspot-drift")
+            .expect("hotspot-drift is a built-in scenario");
+        let threads = args.threads[0];
+        let online_events = (args.events / 10).max(10_000);
+        ALLOC.reset_high_water();
+        let allocations_before = ALLOC.allocation_count();
+        let registry = MetricsRegistry::new();
+        let config = AssignConfig {
+            threads,
+            ..AssignConfig::default()
+        };
+        let runner = AdaptiveRunner::new(config, PolicyKind::DtaTp).with_metrics(registry.clone());
+        let outcome = soak_combo(scenario_index, &runner, online_events, online_forecaster);
+        let snapshot = registry.snapshot();
+        eprintln!(
+            "soak: hotspot-drift threads={threads} forecast=online events={} sessions={} \
+             {:.0} events/sec",
+            outcome.events,
+            outcome.sessions,
+            outcome.events as f64 / outcome.wall_seconds.max(1e-9)
+        );
+        runs.push(run_row(
+            "hotspot-drift",
+            threads,
+            "online",
+            &outcome,
+            &snapshot,
+            allocations_before,
+        ));
     }
 
     let report = JsonValue::object(vec![
@@ -297,12 +421,18 @@ fn main() {
     let runs = parsed.get("runs").expect("runs key").items();
     assert_eq!(
         runs.len(),
-        scenario_names.len() * args.threads.len(),
-        "one run per scenario x thread count"
+        scenario_names.len() * args.threads.len() + 1,
+        "one run per scenario x thread count, plus the online-forecast run"
     );
     for run in runs {
+        let online = run.get("forecast").and_then(JsonValue::as_str) == Some("online");
+        let target = if online {
+            (args.events / 10).max(10_000)
+        } else {
+            args.events
+        };
         let events = run.get("events").and_then(JsonValue::as_u64).unwrap();
-        assert!(events as usize >= args.events, "run under event target");
+        assert!(events as usize >= target, "run under event target");
         let p99 = run
             .get("replan")
             .and_then(|r| r.get("p99_ms"))
@@ -312,6 +442,18 @@ fn main() {
             p99.is_finite() && p99 > 0.0,
             "replan p99 must be finite and nonzero"
         );
+        if online {
+            let queries = run
+                .get("forecast_queries")
+                .and_then(JsonValue::as_u64)
+                .unwrap();
+            let refreshes = run
+                .get("forecast_refreshes")
+                .and_then(JsonValue::as_u64)
+                .unwrap();
+            assert!(queries > 0, "online run must query the forecaster");
+            assert!(refreshes > 0, "online run must re-forecast");
+        }
     }
     println!("wrote {path} ({} runs)", runs.len());
     println!("soak_ok=1");

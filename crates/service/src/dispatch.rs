@@ -67,6 +67,13 @@ pub struct ServiceStats {
     /// forecast queries, model refreshes) — live, so a dashboard polling
     /// [`DispatchService::stats`] sees re-forecasts as they happen.
     pub forecast: ForecastStats,
+    /// Planning partitions whose plan was reused from the incremental plan
+    /// cache instead of searched (cumulative, from the
+    /// `assign.partitions_reused` counter).
+    pub partitions_reused: usize,
+    /// Planning partitions actually searched (cumulative, from the
+    /// `assign.partitions_recomputed` counter).
+    pub partitions_recomputed: usize,
 }
 
 /// Outcome of one [`DispatchService::pump`] step.
@@ -116,6 +123,11 @@ struct ServiceMetrics {
     backpressure_stalls: Counter,
     backlog: Gauge,
     pump_seconds: Histogram,
+    /// Assign-layer plan-reuse counters (recorded by the session's runner
+    /// state into this same registry); surfaced through
+    /// [`DispatchService::stats`].
+    partitions_reused: Counter,
+    partitions_recomputed: Counter,
 }
 
 impl ServiceMetrics {
@@ -126,6 +138,8 @@ impl ServiceMetrics {
             backpressure_stalls: registry.counter("service.backpressure_stalls"),
             backlog: registry.gauge("service.backlog"),
             pump_seconds: registry.histogram("service.pump_seconds"),
+            partitions_reused: registry.counter("assign.partitions_reused"),
+            partitions_recomputed: registry.counter("assign.partitions_recomputed"),
         }
     }
 }
@@ -175,6 +189,8 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
             forecast: self.session.forecast_stats(),
             backpressure_flushes: self.metrics.backpressure_stalls.value() as usize,
             backlog_high_water: self.metrics.backlog.high_water().max(0) as usize,
+            partitions_reused: self.metrics.partitions_reused.value() as usize,
+            partitions_recomputed: self.metrics.partitions_recomputed.value() as usize,
             ..self.stats
         }
     }

@@ -92,6 +92,26 @@
 //! [`StreamEngine::run_with_forecast`] are the batch conveniences over the
 //! same API.
 //!
+//! ## Incremental replanning
+//!
+//! Every event the engine fires feeds the runner's
+//! [`datawa_assign::DirtySet`]: arrivals, expirations, worker lifecycle
+//! changes, replan ticks, dispatches and forecast refreshes are each
+//! recorded as the kind of invalidation they cause, and
+//! [`Session::dirty_set`] exposes the accumulated set between planning
+//! instants (the sharded engine keeps one per shard, inside each shard's
+//! session). The planner's plan cache uses content *verification* — not
+//! this tracker — as its source of truth, so dirty sets are purely
+//! diagnostic; the cache reuses a partition's previous plan only after
+//! re-validating every member worker and its reachable tasks against the
+//! live stores (see the "Incremental replanning" section of the
+//! `datawa-assign` docs for the dirty-set rules and the fingerprint
+//! definition). `DATAWA_INCREMENTAL=off` (or
+//! [`IncrementalMode::Off`](datawa_assign::IncrementalMode) in the config)
+//! disables reuse for A/B parity runs; output is bitwise identical either
+//! way, which the `incremental_equivalence` workspace suite pins across
+//! every policy, scenario generator and thread count.
+//!
 //! ## Observability
 //!
 //! Sessions record into a `datawa-obs` [`MetricsRegistry`]: ingest and

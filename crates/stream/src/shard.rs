@@ -8,6 +8,11 @@
 //! thread pool when `threads > 1`, which is sound because shard states share
 //! nothing mutable (the runner they borrow is `Sync`).
 //!
+//! Each shard's runner state carries its own [`datawa_assign::DirtySet`]
+//! and its own planner-local incremental plan cache: events dirty only the
+//! shard that owns them, so plan reuse composes with sharding — a busy
+//! shard recomputes while its quiet neighbours splice cached plans.
+//!
 //! ## Boundary workers
 //!
 //! A worker whose reachable disc straddles a shard edge could compete for
