@@ -679,6 +679,7 @@ impl<F: ForecastProvider + ?Sized> RunnerState<'_, F> {
                         .runner
                         .tvf
                         .as_ref()
+                        // datawa-lint: allow(unwrap-in-hot-path) -- construction invariant: a DataWa runner is only built via with_tvf, which sets this
                         .expect("PolicyKind::DataWa requires a trained TVF (use with_tvf)");
                     self.planner.plan_guided(
                         &planning_workers,

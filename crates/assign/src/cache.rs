@@ -357,6 +357,7 @@ impl PlanCache {
                 // time feasibility is not consulted, so this can only
                 // over-report dirtiness, never miss a ranking change).
                 for &rt in &self.added {
+                    // datawa-lint: allow(unwrap-in-hot-path) -- DirtySet::added is built from the same candidate list real_ids indexes
                     let pid = planning_id(real_ids, rt).expect("added tasks are candidates");
                     let task = tasks.get(pid);
                     let d = config
@@ -388,7 +389,9 @@ impl PlanCache {
                         pairs.push((tid, d));
                     }
                 }
-                pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                // Must match `reachable::compute_reachable_sets` bitwise —
+                // same `total_cmp` comparator, same truncation.
+                pairs.sort_by(|a, b| a.1.total_cmp(&b.1));
                 pairs.truncate(config.max_reachable_per_worker);
                 pids.clear();
                 pids.extend(pairs.iter().map(|&(t, _)| t));

@@ -23,19 +23,14 @@ pub enum IncrementalMode {
 
 impl IncrementalMode {
     /// Resolves the effective toggle, reading `DATAWA_INCREMENTAL` for
-    /// [`IncrementalMode::Auto`]. Read per call (not cached) so toggling the
-    /// variable between runs in one process behaves as expected.
+    /// [`IncrementalMode::Auto`] through [`datawa_core::env_config`]. Read
+    /// per call (not cached) so toggling the variable between runs in one
+    /// process behaves as expected.
     pub fn enabled(self) -> bool {
         match self {
             IncrementalMode::On => true,
             IncrementalMode::Off => false,
-            IncrementalMode::Auto => match std::env::var("DATAWA_INCREMENTAL") {
-                Ok(v) => !matches!(
-                    v.trim().to_ascii_lowercase().as_str(),
-                    "off" | "0" | "false"
-                ),
-                Err(_) => true,
-            },
+            IncrementalMode::Auto => datawa_core::env_config::incremental_enabled(),
         }
     }
 }

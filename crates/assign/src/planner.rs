@@ -184,6 +184,7 @@ impl Planner {
                 let tvf = self
                     .tvf
                     .take()
+                    // datawa-lint: allow(unwrap-in-hot-path) -- mode invariant: Guided is only selected by constructors that install a TVF
                     .expect("SearchMode::Guided requires a trained TVF");
                 let out = self.plan_partitioned(
                     worker_ids,
@@ -233,6 +234,8 @@ impl Planner {
         tasks: &TaskStore,
         now: Timestamp,
     ) -> (Assignment, PlanningReport) {
+        // datawa-lint: allow(wall-clock-in-hot-path) -- feeds the replan-latency histogram only; never read by planning logic
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let mut report = PlanningReport {
             workers_considered: worker_ids.len(),
@@ -281,6 +284,8 @@ impl Planner {
         tvf: Option<&TvfInference>,
         ctx: Option<&IncrementalContext<'_>>,
     ) -> (Assignment, PlanningReport) {
+        // datawa-lint: allow(wall-clock-in-hot-path) -- feeds the replan-latency histogram only; never read by planning logic
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let mut report = PlanningReport {
             workers_considered: worker_ids.len(),
@@ -476,6 +481,7 @@ impl Planner {
         }
         let mut assignment = Assignment::new();
         for slot in slots {
+            // datawa-lint: allow(unwrap-in-hot-path) -- run_indexed writes every slot exactly once; a hole means a pool bug, not a data condition
             let (plan, nodes) = slot.expect("every partition resolved");
             report.nodes_expanded += nodes;
             for (w, seq) in plan {

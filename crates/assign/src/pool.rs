@@ -14,28 +14,17 @@
 //! `threads = 1` has zero overhead over the pre-pool planner.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
-
-/// Thread count configured through the `DATAWA_THREADS` environment variable
-/// (cached: the hot replan path resolves this once per process).
-fn env_threads() -> usize {
-    static ENV_THREADS: OnceLock<usize> = OnceLock::new();
-    *ENV_THREADS.get_or_init(|| {
-        std::env::var("DATAWA_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1)
-    })
-}
+use std::sync::Mutex;
 
 /// Resolves a configured thread count: positive values are taken as-is, `0`
-/// defers to `DATAWA_THREADS` (default 1).
+/// defers to `DATAWA_THREADS` (default 1). The environment read goes through
+/// [`datawa_core::env_config`], which caches it per process — the hot replan
+/// path resolves this on every planning instant.
 pub fn effective_threads(configured: usize) -> usize {
     if configured > 0 {
         configured
     } else {
-        env_threads()
+        datawa_core::env_config::threads_override().unwrap_or(1)
     }
 }
 
@@ -60,19 +49,23 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // datawa-lint: allow(relaxed-atomic-audit) -- pure monotonic claim cursor; each index is claimed exactly once and results are slotted by index, so claim order is irrelevant
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(i, &items[i]);
+                // datawa-lint: allow(unwrap-in-hot-path) -- lock poisoning means a worker already panicked; propagating is the only sane response
                 results.lock().expect("pool results poisoned")[i] = Some(r);
             });
         }
     });
     results
         .into_inner()
+        // datawa-lint: allow(unwrap-in-hot-path) -- lock poisoning means a worker already panicked; propagating is the only sane response
         .expect("pool results poisoned")
         .into_iter()
+        // datawa-lint: allow(unwrap-in-hot-path) -- the claim cursor covers 0..items.len(), so every slot is written before scope join
         .map(|r| r.expect("pool worker skipped an item"))
         .collect()
 }

@@ -64,7 +64,11 @@ pub fn reachable_tasks(
                 reachable.push((tid, d));
             }
         }
-        reachable.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN distance
+        // must not silently compare Equal and scramble the nearest-first
+        // truncation below (the plan cache re-sorts with the identical
+        // comparator and must agree bitwise).
+        reachable.sort_by(|a, b| a.1.total_cmp(&b.1));
         reachable.truncate(config.max_reachable_per_worker);
         per_worker.insert(wid, reachable.into_iter().map(|(t, _)| t).collect());
     }
@@ -100,6 +104,7 @@ pub fn build_worker_dependency_graph(
     // beyond the graph itself (the co-reacher lists of a hotspot can cover
     // most worker pairs, so materialising the pair list would be quadratic
     // in workers).
+    // datawa-lint: allow(unordered-iteration) -- edge accumulation into BTreeSet adjacency is commutative; the final graph is independent of visit order
     for co_reachers in by_task.values() {
         for (a, &u) in co_reachers.iter().enumerate() {
             for &v in &co_reachers[a + 1..] {

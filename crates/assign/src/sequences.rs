@@ -109,6 +109,7 @@ pub fn generate_sequences_into(
         free_keys,
         sorted,
     } = scratch;
+    // datawa-lint: allow(unordered-iteration) -- free-key recycling: which Vec allocations are reused never affects their contents
     for (k, _) in best.drain() {
         if free_keys.len() < MAX_FREE_KEYS {
             free_keys.push(k);
@@ -120,6 +121,7 @@ pub fn generate_sequences_into(
     dfs(
         worker, reachable, tasks, config, now, current, key, free_keys, max_len, best,
     );
+    // datawa-lint: allow(unordered-iteration) -- collection order is washed out by the total-order sort on `sorted` below
     let mut keys: Vec<Vec<TaskId>> = best.keys().cloned().collect();
     if !config.include_subsets {
         keys.retain(|k| {
@@ -130,12 +132,13 @@ pub fn generate_sequences_into(
     }
     sorted.extend(
         keys.into_iter()
+            // datawa-lint: allow(unwrap-in-hot-path) -- every key was just cloned out of `best` and nothing removed since
             .map(|k| best.get(&k).expect("key from map").clone()),
     );
     sorted.sort_by(|a, b| {
         b.0.len()
             .cmp(&a.0.len())
-            .then_with(|| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| datawa_core::time::cmp_timestamps(a.1, b.1))
             // Total order: without the lexicographic tiebreak, sequences tied
             // on (length, completion) would keep the HashMap's per-instance
             // random iteration order, and downstream tie-breaking ("first

@@ -25,6 +25,13 @@
 use datawa_obs::JsonValue;
 use std::process::exit;
 
+/// Prints a diagnostic naming the offending file/arguments and exits with
+/// status 2 (usage/data error, distinct from a genuine comparison failure).
+fn die(msg: &str) -> ! {
+    eprintln!("bench_compare: {msg}");
+    exit(2);
+}
+
 /// Allowed relative p50 growth (20%) plus an absolute floor for runs whose
 /// p50 is so small that relative noise dominates.
 const MAX_RELATIVE_GROWTH: f64 = 1.2;
@@ -44,26 +51,35 @@ struct Run {
 }
 
 fn load_runs(path: &str) -> Vec<Run> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("bench_compare: cannot read {path}: {e}"));
-    let parsed = JsonValue::parse(&text).unwrap_or_else(|e| panic!("bench_compare: {path}: {e:?}"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        die(&format!(
+            "cannot read {path}: {e} (expected a soak report; run `cargo run -p \
+             datawa-bench --bin soak -- --tag <n>` to produce one)"
+        ))
+    });
+    let parsed = JsonValue::parse(&text).unwrap_or_else(|e| {
+        die(&format!(
+            "{path} is not valid JSON ({e:?}); was the soak run interrupted mid-write?"
+        ))
+    });
     parsed
         .get("runs")
-        .unwrap_or_else(|| panic!("bench_compare: {path} has no runs key"))
+        .unwrap_or_else(|| die(&format!("{path} has no `runs` key; not a soak report")))
         .items()
         .iter()
-        .map(|run| {
+        .enumerate()
+        .map(|(i, run)| {
             let field = |name: &str| {
                 run.get(name)
                     .and_then(JsonValue::as_u64)
-                    .unwrap_or_else(|| panic!("bench_compare: {path}: run missing {name}"))
+                    .unwrap_or_else(|| die(&format!("{path}: run #{i} missing numeric `{name}`")))
             };
             Run {
                 key: RunKey {
                     scenario: run
                         .get("scenario")
                         .and_then(JsonValue::as_str)
-                        .expect("run has a scenario")
+                        .unwrap_or_else(|| die(&format!("{path}: run #{i} missing `scenario`")))
                         .to_string(),
                     threads: field("threads"),
                     // Pre-incremental reports have no forecast marker; all
@@ -74,7 +90,7 @@ fn load_runs(path: &str) -> Vec<Run> {
                     .get("replan")
                     .and_then(|r| r.get("p50_ms"))
                     .and_then(JsonValue::as_f64)
-                    .expect("run has replan.p50_ms"),
+                    .unwrap_or_else(|| die(&format!("{path}: run #{i} missing `replan.p50_ms`"))),
                 assigned_tasks: field("assigned_tasks"),
                 planning_calls: field("planning_calls"),
             }
@@ -87,7 +103,7 @@ fn load_runs(path: &str) -> Vec<Run> {
 /// smoke jobs, not part of the committed history, so they never gate.
 fn latest_pair(dir: &str) -> (String, String) {
     let mut tagged: Vec<(u64, String)> = std::fs::read_dir(dir)
-        .unwrap_or_else(|e| panic!("bench_compare: cannot list {dir}: {e}"))
+        .unwrap_or_else(|e| die(&format!("cannot list {dir}: {e}")))
         .filter_map(|entry| {
             let name = entry.ok()?.file_name().into_string().ok()?;
             let tag = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
@@ -136,16 +152,18 @@ fn main() {
         }
         ["--files", o, n] => (o.to_string(), n.to_string(), false),
         ["--parity", a, b] => (a.to_string(), b.to_string(), true),
-        _ => panic!("usage: bench_compare [--dir DIR | --files OLD NEW | --parity A B]"),
+        _ => die("usage: bench_compare [--dir DIR | --files OLD NEW | --parity A B]"),
     };
 
     let old_runs = load_runs(&old_path);
     let new_runs = load_runs(&new_path);
     let pairs = matched(&old_runs, &new_runs);
-    assert!(
-        !pairs.is_empty(),
-        "bench_compare: {old_path} and {new_path} share no (scenario, threads) runs"
-    );
+    if pairs.is_empty() {
+        die(&format!(
+            "{old_path} and {new_path} share no (scenario, threads) runs — \
+             were they produced by the same soak configuration?"
+        ));
+    }
 
     let mut failures = 0;
     for (old, new) in &pairs {

@@ -129,6 +129,7 @@ fn soak_combo<F: ForecastProvider>(
             .generate();
         let mut forecast = make_forecast(seed);
         let mut sink = NullSink;
+        #[allow(clippy::disallowed_methods)] // throughput measurement is this binary's purpose
         let started = Instant::now();
         let mut session = Session::open(runner, &mut forecast, EngineConfig::batched(64));
         let mut source = WorkloadSource::new(&workload);
@@ -412,13 +413,28 @@ fn main() {
     ]);
 
     let path = format!("{}/BENCH_{}.json", args.out_dir, args.tag);
-    std::fs::write(&path, report.render()).expect("write BENCH file");
+    if let Err(e) = std::fs::write(&path, report.render()) {
+        eprintln!("soak: cannot write {path}: {e} (does --out-dir exist and allow writes?)");
+        std::process::exit(2);
+    }
 
     // Self-validation: parse the file back and check the invariants the CI
     // smoke job greps for.
-    let parsed = JsonValue::parse(&std::fs::read_to_string(&path).expect("reread BENCH file"))
-        .expect("BENCH file is valid JSON");
-    let runs = parsed.get("runs").expect("runs key").items();
+    let reread = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("soak: cannot reread {path}: {e}");
+        std::process::exit(2);
+    });
+    let parsed = JsonValue::parse(&reread).unwrap_or_else(|e| {
+        eprintln!("soak: {path} failed to parse back ({e:?}) — report renderer bug");
+        std::process::exit(2);
+    });
+    let runs = parsed
+        .get("runs")
+        .unwrap_or_else(|| {
+            eprintln!("soak: {path} has no `runs` key — report renderer bug");
+            std::process::exit(2);
+        })
+        .items();
     assert_eq!(
         runs.len(),
         scenario_names.len() * args.threads.len() + 1,
@@ -431,7 +447,13 @@ fn main() {
         } else {
             args.events
         };
-        let events = run.get("events").and_then(JsonValue::as_u64).unwrap();
+        let events = run
+            .get("events")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| {
+                eprintln!("soak: {path}: run missing numeric `events` — report renderer bug");
+                std::process::exit(2);
+            });
         assert!(events as usize >= target, "run under event target");
         let p99 = run
             .get("replan")
@@ -443,14 +465,20 @@ fn main() {
             "replan p99 must be finite and nonzero"
         );
         if online {
+            let missing = |name: &str| -> u64 {
+                eprintln!(
+                    "soak: {path}: online run missing numeric `{name}` — report renderer bug"
+                );
+                std::process::exit(2);
+            };
             let queries = run
                 .get("forecast_queries")
                 .and_then(JsonValue::as_u64)
-                .unwrap();
+                .unwrap_or_else(|| missing("forecast_queries"));
             let refreshes = run
                 .get("forecast_refreshes")
                 .and_then(JsonValue::as_u64)
-                .unwrap();
+                .unwrap_or_else(|| missing("forecast_refreshes"));
             assert!(queries > 0, "online run must query the forecaster");
             assert!(refreshes > 0, "online run must re-forecast");
         }

@@ -23,6 +23,7 @@
 //! ```
 
 pub mod assignment;
+pub mod env_config;
 pub mod error;
 pub mod location;
 pub mod sequence;

@@ -267,6 +267,7 @@ impl fmt::Display for TimeInterval {
 /// sorting pushes them to the end, where validation will reject them.
 #[inline]
 pub fn cmp_timestamps(a: Timestamp, b: Timestamp) -> std::cmp::Ordering {
+    // datawa-lint: allow(unchecked-float-ordering) -- this IS the designated total-order helper; the unwrap_or_else arm below defines the NaN ordering
     a.0.partial_cmp(&b.0).unwrap_or_else(|| {
         if a.0.is_nan() && b.0.is_nan() {
             std::cmp::Ordering::Equal

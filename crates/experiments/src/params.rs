@@ -73,13 +73,10 @@ impl ExperimentScale {
     /// The default scale used when the environment variable is absent.
     pub const DEFAULT_FACTOR: f64 = 0.04;
 
-    /// Reads the scale from the `DATAWA_SCALE` environment variable.
+    /// Reads the scale from the `DATAWA_SCALE` environment variable (via
+    /// [`datawa_core::env_config::scale_factor`], which validates the range).
     pub fn from_env() -> ExperimentScale {
-        let factor = std::env::var("DATAWA_SCALE")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .filter(|f| *f > 0.0 && *f <= 1.0)
-            .unwrap_or(Self::DEFAULT_FACTOR);
+        let factor = datawa_core::env_config::scale_factor().unwrap_or(Self::DEFAULT_FACTOR);
         ExperimentScale { factor }
     }
 
@@ -112,37 +109,21 @@ impl ExperimentScale {
 ///   planning wall-clock changes. The CI matrix runs the whole tier-1 suite
 ///   at `DATAWA_THREADS=4` to keep the parallel path exercised.
 pub fn pipeline_config_from_env() -> datawa_sim::PipelineConfig {
+    use datawa_core::env_config;
     let mut config = datawa_sim::PipelineConfig::default();
-    if let Some(threads) = std::env::var("DATAWA_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|t| *t >= 1)
-    {
+    if let Some(threads) = env_config::threads_override() {
         config.assign.threads = threads;
     }
-    if let Some(epochs) = std::env::var("DATAWA_EPOCHS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-    {
+    if let Some(epochs) = env_config::epochs() {
         config.training.epochs = epochs;
     }
-    if let Some(replan) = std::env::var("DATAWA_REPLAN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-    {
+    if let Some(replan) = env_config::replan_every() {
         config.replan_every = replan;
     }
-    if let Some(dt) = std::env::var("DATAWA_REPLAN_DT")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .filter(|dt| *dt > 0.0)
-    {
+    if let Some(dt) = env_config::replan_interval() {
         config.replan_interval = Some(dt);
     }
-    if let Some(grid) = std::env::var("DATAWA_GRID")
-        .ok()
-        .and_then(|v| v.parse().ok())
-    {
+    if let Some(grid) = env_config::grid_cells_per_side() {
         config.grid_cells_per_side = grid;
     }
     config

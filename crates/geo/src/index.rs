@@ -118,7 +118,7 @@ impl<T: Clone + PartialEq> SpatialIndex<T> {
                 }
             }
         }
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
         out
     }
 

@@ -1,0 +1,186 @@
+//! End-to-end coverage of every rule over the fixture corpus in
+//! `tests/fixtures/` — true positives, true negatives and both suppression
+//! paths — plus CLI-level exit-code and JSON checks against the built
+//! binary.
+//!
+//! Fixtures are scanned with `context_crate = "assign"` so they masquerade
+//! as production code of a deterministic, hot-path crate; the corpus itself
+//! is never compiled (the engine's workspace walk skips `tests/fixtures`).
+
+use datawa_lint::{run, Options, Report};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn scan(file: &str) -> Report {
+    let opts = Options {
+        root: fixtures_dir(),
+        workspace: false,
+        paths: vec![PathBuf::from(file)],
+        context_crate: Some("assign".to_string()),
+    };
+    run(&opts).expect("fixture scan")
+}
+
+fn rules_of(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unordered_iteration_positive_negative_and_suppressed() {
+    let report = scan("unordered_iteration.rs");
+    assert_eq!(
+        rules_of(&report),
+        ["unordered-iteration"],
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].line, 8, "the bare `m.iter()` loop");
+    assert_eq!(report.suppressed, 1, "the rationale-carrying loop");
+    assert!(report.failed());
+}
+
+#[test]
+fn wall_clock_positive_and_missing_reason_meta_lint() {
+    let report = scan("wall_clock.rs");
+    let rules = rules_of(&report);
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == "wall-clock-in-hot-path")
+            .count(),
+        2,
+        "{:?}",
+        report.findings
+    );
+    // The reasonless suppression silences the wall-clock finding but raises
+    // the meta-lint, so it can never land silently.
+    assert!(rules.contains(&"missing-suppression-reason"));
+    assert_eq!(report.suppressed, 2);
+}
+
+#[test]
+fn stray_env_read_flags_src_but_not_test_regions() {
+    let report = scan("stray_env.rs");
+    assert_eq!(
+        rules_of(&report),
+        ["stray-env-read"],
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].line, 4);
+}
+
+#[test]
+fn relaxed_atomic_positive_negative_and_suppressed() {
+    let report = scan("relaxed_atomic.rs");
+    assert_eq!(
+        rules_of(&report),
+        ["relaxed-atomic-audit"],
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn float_ordering_positive_negative_and_suppressed() {
+    let report = scan("float_ordering.rs");
+    assert_eq!(
+        rules_of(&report),
+        ["unchecked-float-ordering"],
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].line, 5, "the partial_cmp sort key");
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn unwrap_in_hot_path_positive_negative_and_suppressed() {
+    let report = scan("unwrap_hot.rs");
+    assert_eq!(
+        rules_of(&report),
+        ["unwrap-in-hot-path", "unwrap-in-hot-path"],
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn invalid_suppressions_are_findings() {
+    let report = scan("bad_suppression.rs");
+    assert_eq!(
+        rules_of(&report),
+        ["invalid-suppression", "invalid-suppression"],
+        "{:?}",
+        report.findings
+    );
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("unknown rule")));
+    assert!(messages.iter().any(|m| m.contains("unparsable")));
+}
+
+#[test]
+fn file_level_suppression_covers_every_line() {
+    let report = scan("allow_file.rs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 2, "both Instant::now sites");
+    assert!(!report.failed());
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixtures_and_emits_json() {
+    let out = Command::new(env!("CARGO_BIN_EXE_datawa-lint"))
+        .arg("--root")
+        .arg(fixtures_dir())
+        .arg("--context")
+        .arg("assign")
+        .arg("--format")
+        .arg("json")
+        .arg("unordered_iteration.rs")
+        .arg("wall_clock.rs")
+        .output()
+        .expect("run datawa-lint on fixtures");
+    assert_eq!(out.status.code(), Some(1), "unsuppressed findings exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"version\": 1"), "{stdout}");
+    assert!(
+        stdout.contains("\"rule\":\"unordered-iteration\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"rule\":\"wall-clock-in-hot-path\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"rule\":\"missing-suppression-reason\""),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn cli_exits_cleanly_on_a_clean_file() {
+    let out = Command::new(env!("CARGO_BIN_EXE_datawa-lint"))
+        .arg("--root")
+        .arg(fixtures_dir())
+        .arg("--context")
+        .arg("assign")
+        .arg("allow_file.rs")
+        .output()
+        .expect("run datawa-lint on a clean fixture");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn cli_usage_errors_exit_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_datawa-lint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("run datawa-lint with a bad flag");
+    assert_eq!(out.status.code(), Some(2));
+}

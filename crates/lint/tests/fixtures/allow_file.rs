@@ -1,0 +1,13 @@
+// Fixture: file-level suppression. Scanned with `--context assign`;
+// never compiled.
+// datawa-lint: allow-file(wall-clock-in-hot-path) -- fixture: this whole file is metric plumbing
+
+fn first() {
+    let t = Instant::now();
+    drop(t);
+}
+
+fn second() {
+    let u = Instant::now();
+    drop(u);
+}

@@ -1,0 +1,13 @@
+// Fixture: invalid-suppression (both failure modes). Never compiled.
+
+fn names_unknown_rule() {
+    // datawa-lint: allow(no-such-rule) -- misspelled rule name
+    let x = 1;
+    drop(x);
+}
+
+fn does_not_parse() {
+    // datawa-lint: allowing everything forever
+    let y = 2;
+    drop(y);
+}

@@ -1,0 +1,15 @@
+// Fixture: unchecked-float-ordering. Scanned with `--context assign`
+// (a deterministic crate); never compiled.
+
+fn positive(v: &mut Vec<(u32, f64)>) {
+    v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(core::cmp::Ordering::Equal));
+}
+
+fn negative_total_cmp(v: &mut Vec<(u32, f64)>) {
+    v.sort_by(|a, b| a.1.total_cmp(&b.1));
+}
+
+fn suppressed(a: f64, b: f64) -> Option<core::cmp::Ordering> {
+    // datawa-lint: allow(unchecked-float-ordering) -- fixture: caller rejects NaN upstream
+    a.partial_cmp(&b)
+}

@@ -1,0 +1,32 @@
+// Fixture: unordered-iteration. Scanned with `--context assign`, so this
+// file masquerades as production code of a deterministic crate. It is never
+// compiled — the engine's workspace walk skips `tests/fixtures`.
+
+fn positive() {
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    for (k, v) in m.iter() {
+        push(k, v);
+    }
+}
+
+fn negative_order_insensitive_sink() {
+    let mut m = HashMap::new();
+    let n = m.keys().count();
+    let total: u64 = m.values().sum();
+    drop((n, total));
+}
+
+fn negative_immediately_sorted() {
+    let mut m = HashMap::new();
+    let mut v: Vec<_> = m.keys().collect();
+    v.sort_unstable();
+}
+
+fn suppressed_with_rationale() {
+    let mut m = HashMap::new();
+    // datawa-lint: allow(unordered-iteration) -- fixture: accumulation below is commutative
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+}

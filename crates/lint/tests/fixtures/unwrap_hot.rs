@@ -1,0 +1,27 @@
+// Fixture: unwrap-in-hot-path. Scanned with `--context assign` (a hot-path
+// crate, forced to FileKind::Src); never compiled.
+
+fn positive_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn positive_expect(x: Option<u32>) -> u32 {
+    x.expect("always set")
+}
+
+fn negative_unwrap_or(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn suppressed(x: Option<u32>) -> u32 {
+    // datawa-lint: allow(unwrap-in-hot-path) -- fixture: construction invariant makes x always Some
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negative_unwraps_are_fine_in_tests() {
+        Some(1u32).unwrap();
+    }
+}

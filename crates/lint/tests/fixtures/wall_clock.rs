@@ -1,0 +1,25 @@
+// Fixture: wall-clock-in-hot-path plus the missing-suppression-reason
+// meta-lint. Scanned with `--context assign` (not a wall-clock-exempt
+// crate); never compiled.
+
+fn positive_instant() {
+    let start = Instant::now();
+    drop(start);
+}
+
+fn positive_system_time() {
+    let t = SystemTime::now();
+    drop(t);
+}
+
+fn suppressed_with_reason() {
+    // datawa-lint: allow(wall-clock-in-hot-path) -- fixture: feeds a report metric only
+    let start = Instant::now();
+    drop(start);
+}
+
+fn suppressed_without_reason() {
+    // datawa-lint: allow(wall-clock-in-hot-path)
+    let start = Instant::now();
+    drop(start);
+}

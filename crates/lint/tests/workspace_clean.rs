@@ -1,0 +1,23 @@
+//! The committed tree must be lint-clean: every hazard either fixed or
+//! suppressed with a rationale. This is the same gate CI's `check` job runs
+//! via `cargo run -p datawa-lint -- --workspace`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(env!("CARGO_BIN_EXE_datawa-lint"))
+        .arg("--workspace")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run datawa-lint --workspace");
+    assert!(
+        out.status.success(),
+        "datawa-lint found unsuppressed issues:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

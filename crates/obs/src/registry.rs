@@ -164,12 +164,15 @@ impl MetricsRegistry {
     /// Attached or detached per the [`OBS_ENV`] (`DATAWA_OBS`) environment
     /// variable: `on`/`1`/`true` (case-insensitive) attach, anything else —
     /// including unset — detaches. Reads the environment on every call (no
-    /// caching) so tests can flip the toggle in-process.
+    /// caching) so tests can flip the toggle in-process; the read itself
+    /// goes through the workspace's single env gateway,
+    /// [`datawa_core::env_config`].
     #[must_use]
     pub fn from_env() -> MetricsRegistry {
-        match std::env::var(OBS_ENV) {
-            Ok(v) if parse_obs_toggle(&v) => MetricsRegistry::new(),
-            _ => MetricsRegistry::detached(),
+        if datawa_core::env_config::obs_attached() {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::detached()
         }
     }
 
@@ -275,12 +278,10 @@ impl MetricsRegistry {
     }
 }
 
-/// Whether a `DATAWA_OBS` value means "attached".
+/// Whether a `DATAWA_OBS` value means "attached" (delegates to the shared
+/// toggle grammar in [`datawa_core::env_config`]).
 pub fn parse_obs_toggle(value: &str) -> bool {
-    matches!(
-        value.trim().to_ascii_lowercase().as_str(),
-        "on" | "1" | "true"
-    )
+    datawa_core::env_config::toggle_is_on(value)
 }
 
 /// A point-in-time, serializable copy of a registry's metrics. Maps are

@@ -16,16 +16,9 @@ use datawa_service::{DispatchService, LiveSource, PumpStatus, ServiceConfig};
 use datawa_stream::{ChannelSink, Decision, RushHourBurst, ScenarioGenerator, ScenarioSpec};
 use std::sync::mpsc;
 
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() {
-    let tasks = env_usize("DATAWA_SERVICE_TASKS", 600);
-    let workers = env_usize("DATAWA_SERVICE_WORKERS", 40);
+    let tasks = datawa_core::env_config::service_tasks().unwrap_or(600);
+    let workers = datawa_core::env_config::service_workers().unwrap_or(40);
     let spec = ScenarioSpec::small()
         .with_tasks(tasks)
         .with_workers(workers);

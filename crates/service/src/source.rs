@@ -180,6 +180,9 @@ impl LiveSource {
         let Some(wall) = self.wall.as_mut() else {
             return;
         };
+        // Pacing is the service boundary's job: map simulated time onto the
+        // real clock without ever feeding it back into planning.
+        #[allow(clippy::disallowed_methods)]
         let (anchor_instant, anchor_sim) = *wall
             .anchor
             .get_or_insert((std::time::Instant::now(), self.clock.0));
@@ -324,6 +327,7 @@ mod tests {
             .collect()
         };
         let mut paced = LiveSource::new(&workload(), 1.0).with_wall_clock(100.0);
+        #[allow(clippy::disallowed_methods)] // the test measures the pacing it exists to verify
         let start = std::time::Instant::now();
         let polls: Vec<SourcePoll> = std::iter::from_fn(|| match paced.poll() {
             SourcePoll::Exhausted => None,

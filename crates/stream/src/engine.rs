@@ -228,6 +228,7 @@ impl StreamEngine {
         while let Some(scheduled) = self.queue.pop() {
             session
                 .ingest(scheduled.time, scheduled.event)
+                // datawa-lint: allow(unwrap-in-hot-path) -- enqueue already validated finiteness; a fresh session cannot reject monotone re-delivery
                 .expect("engine queue times are finite and the session is fresh");
         }
         // The engine queue is drained; restart its high-water mark so the

@@ -526,7 +526,7 @@ mod tests {
         let max = lengths.iter().cloned().fold(0.0, f64::max);
         let median = {
             let mut sorted = lengths.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             sorted[sorted.len() / 2]
         };
         assert!(

@@ -528,6 +528,7 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
                 (Some(et), Some(tt)) if tt.0 < et.0 => self.fire_tick(tt, sink),
                 (None, Some(tt)) => self.fire_tick(tt, sink),
                 (Some(_), _) => {
+                    // datawa-lint: allow(unwrap-in-hot-path) -- pop follows a successful peek with no intervening mutation
                     let scheduled = self.queue.pop().expect("peeked event vanished");
                     self.process(scheduled, sink);
                 }

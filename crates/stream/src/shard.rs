@@ -260,6 +260,7 @@ impl ShardedStreamEngine {
                     routing[shard].workers += 1;
                     sessions[shard]
                         .ingest(now, Event::WorkerOnline(w))
+                        // datawa-lint: allow(unwrap-in-hot-path) -- spine replay is time-ordered by construction; a regression is a harness bug
                         .expect("spine times are finite and never regress");
                     sessions[shard].advance_to(now, &mut NullSink);
                 }
@@ -269,6 +270,7 @@ impl ShardedStreamEngine {
                     routing[shard].tasks += 1;
                     sessions[shard]
                         .ingest(now, Event::TaskArrival(t))
+                        // datawa-lint: allow(unwrap-in-hot-path) -- spine replay is time-ordered by construction; a regression is a harness bug
                         .expect("spine times are finite and never regress");
                     sessions[shard].advance_to(now, &mut NullSink);
                 }

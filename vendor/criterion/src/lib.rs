@@ -197,6 +197,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Measures `f` repeatedly until the measurement budget is spent.
+    #[allow(clippy::disallowed_methods)] // a bench harness is made of wall-clock reads
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up + calibration run.
         let start = Instant::now();
