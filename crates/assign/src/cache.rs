@@ -527,6 +527,7 @@ impl PlanCache {
         );
         if self.partitions.len() > MAX_PARTITION_ENTRIES {
             self.partitions
+                // datawa-lint: allow(unordered-iteration) -- the age predicate is per-entry, so the surviving set is identical under any iteration order
                 .retain(|_, e| pass.saturating_sub(e.last_used) <= EVICT_AGE);
         }
     }

@@ -8,9 +8,12 @@
 //! ```
 //!
 //! Latency mode matches runs by `(scenario, threads)` — runs present in only
-//! one report are skipped, as are `forecast: "online"` rows (their event
-//! target and policy differ from the grid's, so their latencies are a
-//! different population). A matched run fails when
+//! one report are skipped *and named* (`skip old-only …` / `skip new-only
+//! …`), as are `forecast: "online"` rows (their event target and policy
+//! differ from the grid's, so their latencies are a different population).
+//! Two reports with no shared runs at all — e.g. a soak report next to a
+//! service-bench report — gate nothing: every run is named as skipped and
+//! the comparison passes vacuously. A matched run fails when
 //! `new p50 > old p50 * 1.2 + 0.05 ms`; the additive floor keeps sub-0.1 ms
 //! runs from tripping the gate on scheduler noise.
 //!
@@ -158,11 +161,37 @@ fn main() {
     let old_runs = load_runs(&old_path);
     let new_runs = load_runs(&new_path);
     let pairs = matched(&old_runs, &new_runs);
+
+    // Runs present in only one report carry no regression signal; name them
+    // so a shrinking intersection is visible in the log rather than silent.
+    let key_of = |r: &Run| {
+        format!(
+            "{} threads={}{}",
+            r.key.scenario,
+            r.key.threads,
+            if r.key.online { " (online)" } else { "" }
+        )
+    };
+    for o in &old_runs {
+        if !pairs.iter().any(|(p, _)| std::ptr::eq(*p, o)) {
+            println!("skip old-only {}", key_of(o));
+        }
+    }
+    for n in &new_runs {
+        if !pairs.iter().any(|(_, p)| std::ptr::eq(*p, n)) {
+            println!("skip new-only {}", key_of(n));
+        }
+    }
     if pairs.is_empty() {
-        die(&format!(
-            "{old_path} and {new_path} share no (scenario, threads) runs — \
-             were they produced by the same soak configuration?"
-        ));
+        // Disjoint run sets — e.g. the latest two tags come from different
+        // harnesses (soak vs service_bench). Nothing is comparable, so
+        // nothing can regress; the skips above name every run.
+        println!(
+            "bench_compare: {old_path} and {new_path} share no \
+             (scenario, threads) runs; nothing to gate"
+        );
+        println!("bench_compare_ok=1");
+        return;
     }
 
     let mut failures = 0;

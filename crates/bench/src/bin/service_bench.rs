@@ -1,0 +1,323 @@
+//! Transport-level throughput harness: binds a loopback [`NetServer`] and
+//! drives many concurrent tenant clients through real TCP connections,
+//! reporting ingest-latency percentiles (`net.ingest_seconds`) and streamed
+//! decisions/sec into a `BENCH_<tag>.json` report.
+//!
+//! ```text
+//! service_bench [--clients 8] [--tasks N] [--workers N] [--tag 9] [--out DIR] [--policy greedy]
+//! ```
+//!
+//! One run per benched scenario, every run at the full client count; the
+//! `threads` field of a run row is the *client* count (the planner pool uses
+//! its default width), and scenario names carry a `service-` prefix so the
+//! rows never collide with the soak grid's — `bench_compare` then matches
+//! nothing between a soak report and a service report and passes vacuously,
+//! by design.
+//!
+//! Admission quotas are raised far above the offered load: this harness
+//! measures the transport and engine under concurrency, so a refusal would
+//! make the numbers silently lossy. The report asserts
+//! `net.rejected_admission == 0`; admission behaviour itself is covered by
+//! `crates/net/tests/admission.rs`.
+
+use datawa_assign::PolicyKind;
+use datawa_net::{NetClient, NetConfig, NetServer};
+use datawa_obs::JsonValue;
+use datawa_service::{IngestSource, SourcePoll, WorkloadSource};
+use datawa_stream::{builtin_scenarios, ScenarioSpec};
+use std::time::Instant;
+
+const NS_PER_MS: f64 = 1_000_000.0;
+
+/// Scenario indexes into [`builtin_scenarios`] this harness drives: the
+/// steady-state and the bursty generator. The slow heavy-tailed generator is
+/// a soak concern, not a transport one.
+const SCENARIOS: [usize; 2] = [0, 1];
+
+struct Args {
+    clients: usize,
+    tasks: usize,
+    workers: usize,
+    tag: String,
+    out_dir: String,
+    policy: PolicyKind,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            clients: 8,
+            tasks: 3_000,
+            workers: 150,
+            tag: "service".to_string(),
+            out_dir: ".".to_string(),
+            policy: PolicyKind::Greedy,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {flag}"))
+            };
+            match flag.as_str() {
+                "--clients" => args.clients = value().parse().expect("--clients takes a number"),
+                "--tasks" => args.tasks = value().parse().expect("--tasks takes a number"),
+                "--workers" => args.workers = value().parse().expect("--workers takes a number"),
+                "--tag" => args.tag = value(),
+                "--out" => args.out_dir = value(),
+                "--policy" => {
+                    let name = value().to_ascii_lowercase();
+                    args.policy = PolicyKind::all()
+                        .iter()
+                        .copied()
+                        .find(|p| p.name().to_ascii_lowercase() == name)
+                        .unwrap_or_else(|| panic!("unknown policy {name}"));
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(args.clients > 0, "--clients must be positive");
+        assert!(args.tasks > 0, "--tasks must be positive");
+        args
+    }
+}
+
+/// Per-tenant totals from the server's orderly `Closed` frame.
+#[derive(Default)]
+struct Totals {
+    events: u64,
+    assigned: u64,
+    decisions: u64,
+    planning_calls: u64,
+}
+
+/// Streams one reseeded workload of `scenario_index` through a fresh tenant
+/// connection and returns the server-reported session totals.
+fn drive_tenant(
+    addr: std::net::SocketAddr,
+    scenario_index: usize,
+    tenant: String,
+    spec: ScenarioSpec,
+) -> Totals {
+    let workload = builtin_scenarios(spec)
+        .swap_remove(scenario_index)
+        .generate();
+    let mut client = NetClient::connect(addr, &tenant, "").expect("loopback handshake");
+    let mut source = WorkloadSource::new(&workload);
+    while let SourcePoll::Ready(time, event) = source.poll() {
+        client.send_event(time, &event).expect("send event frame");
+    }
+    let outcome = client.close();
+    assert!(
+        outcome.errors.is_empty(),
+        "{tenant}: server reported errors: {:?}",
+        outcome.errors
+    );
+    assert!(
+        outcome.retry_after.is_empty(),
+        "{tenant}: admission refused {} events despite raised quotas",
+        outcome.retry_after.len()
+    );
+    let closed = outcome.closed.expect("orderly Closed frame");
+    Totals {
+        events: closed.events,
+        assigned: closed.assigned,
+        decisions: closed.decisions,
+        planning_calls: closed.planning_calls,
+    }
+}
+
+fn histogram_ms(snapshot: &datawa_obs::MetricsSnapshot, name: &str) -> JsonValue {
+    let summary = snapshot.histograms.get(name).copied().unwrap_or_default();
+    let ms = |ns: u64| JsonValue::from_f64(ns as f64 / NS_PER_MS);
+    JsonValue::object(vec![
+        ("count".into(), JsonValue::from_u64(summary.count)),
+        ("p50_ms".into(), ms(summary.p50)),
+        ("p95_ms".into(), ms(summary.p95)),
+        ("p99_ms".into(), ms(summary.p99)),
+        ("max_ms".into(), ms(summary.max)),
+        (
+            "mean_ms".into(),
+            JsonValue::from_f64(summary.mean() / NS_PER_MS),
+        ),
+    ])
+}
+
+fn counter(snapshot: &datawa_obs::MetricsSnapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+fn bench_scenario(args: &Args, scenario_index: usize) -> (String, JsonValue) {
+    let scenario_name = builtin_scenarios(ScenarioSpec::small())[scenario_index].name();
+    let scenario = format!("service-{scenario_name}");
+
+    // Quotas far above the offered load: refusals would make throughput
+    // numbers lossy (see module docs). A client's whole workload fits in its
+    // pending quota even if its pump never wakes.
+    let per_client_events = 2 * args.tasks + 2 * args.workers;
+    let cfg = NetConfig {
+        policy: args.policy,
+        tenant_pending_quota: 4 * per_client_events,
+        global_pending_cap: 8 * args.clients * per_client_events,
+        max_connections: args.clients + 4,
+        ..NetConfig::default()
+    };
+    let mut server = NetServer::bind(cfg).expect("bind 127.0.0.1:0");
+    let addr = server.addr();
+
+    #[allow(clippy::disallowed_methods)] // throughput measurement is this binary's purpose
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let spec = ScenarioSpec::small()
+                .with_tasks(args.tasks)
+                .with_workers(args.workers)
+                .with_seed(9_000 + i as u64);
+            let tenant = format!("bench-{i}");
+            std::thread::spawn(move || drive_tenant(addr, scenario_index, tenant, spec))
+        })
+        .collect();
+    let mut totals = Totals::default();
+    for handle in handles {
+        let t = handle.join().expect("client thread");
+        totals.events += t.events;
+        totals.assigned += t.assigned;
+        totals.decisions += t.decisions;
+        totals.planning_calls += t.planning_calls;
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    server.shutdown();
+    let snapshot = server.metrics().snapshot();
+    let rejected = counter(&snapshot, "net.rejected_admission");
+    assert_eq!(
+        rejected, 0,
+        "admission refused events despite raised quotas"
+    );
+    assert!(totals.assigned > 0, "{scenario}: no tasks assigned");
+
+    eprintln!(
+        "service_bench: {scenario} clients={} events={} {:.0} decisions/sec",
+        args.clients,
+        totals.events,
+        totals.decisions as f64 / wall_seconds.max(1e-9)
+    );
+    let row = JsonValue::object(vec![
+        ("scenario".into(), JsonValue::string(&scenario)),
+        ("threads".into(), JsonValue::from_u64(args.clients as u64)),
+        ("clients".into(), JsonValue::from_u64(args.clients as u64)),
+        ("events".into(), JsonValue::from_u64(totals.events)),
+        (
+            "assigned_tasks".into(),
+            JsonValue::from_u64(totals.assigned),
+        ),
+        (
+            "planning_calls".into(),
+            JsonValue::from_u64(totals.planning_calls),
+        ),
+        ("decisions".into(), JsonValue::from_u64(totals.decisions)),
+        ("wall_seconds".into(), JsonValue::from_f64(wall_seconds)),
+        (
+            "decisions_per_sec".into(),
+            JsonValue::from_f64(totals.decisions as f64 / wall_seconds.max(1e-9)),
+        ),
+        (
+            "events_per_sec".into(),
+            JsonValue::from_f64(totals.events as f64 / wall_seconds.max(1e-9)),
+        ),
+        (
+            "ingest".into(),
+            histogram_ms(&snapshot, "net.ingest_seconds"),
+        ),
+        (
+            "replan".into(),
+            histogram_ms(&snapshot, "assign.replan_seconds"),
+        ),
+        (
+            "frames_in".into(),
+            JsonValue::from_u64(counter(&snapshot, "net.frames_in")),
+        ),
+        (
+            "frames_out".into(),
+            JsonValue::from_u64(counter(&snapshot, "net.frames_out")),
+        ),
+        ("rejected_admission".into(), JsonValue::from_u64(rejected)),
+    ]);
+    (scenario, row)
+}
+
+fn main() {
+    let args = Args::parse();
+
+    let mut scenarios = Vec::new();
+    let mut runs = Vec::new();
+    for scenario_index in SCENARIOS {
+        let (scenario, row) = bench_scenario(&args, scenario_index);
+        scenarios.push(JsonValue::string(&scenario));
+        runs.push(row);
+    }
+
+    let report = JsonValue::object(vec![
+        ("bench".into(), JsonValue::string("service")),
+        ("tag".into(), JsonValue::string(args.tag.clone())),
+        ("policy".into(), JsonValue::string(args.policy.name())),
+        ("clients".into(), JsonValue::from_u64(args.clients as u64)),
+        (
+            "tasks_per_client".into(),
+            JsonValue::from_u64(args.tasks as u64),
+        ),
+        ("scenarios".into(), JsonValue::Arr(scenarios)),
+        ("runs".into(), JsonValue::Arr(runs)),
+    ]);
+
+    let path = format!("{}/BENCH_{}.json", args.out_dir, args.tag);
+    if let Err(e) = std::fs::write(&path, report.render()) {
+        eprintln!("service_bench: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+
+    // Self-validation: every row must satisfy bench_compare's `load_runs`
+    // (`scenario`, numeric `threads`, `replan.p50_ms`, `assigned_tasks`,
+    // `planning_calls`) and carry a populated ingest histogram, so a service
+    // report sitting next to the soak history can never crash the gate.
+    let reread = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("service_bench: cannot reread {path}: {e}");
+        std::process::exit(2);
+    });
+    let parsed = JsonValue::parse(&reread).unwrap_or_else(|e| {
+        eprintln!("service_bench: {path} failed to parse back ({e:?}) — renderer bug");
+        std::process::exit(2);
+    });
+    let runs = parsed.get("runs").expect("report has a runs key").items();
+    assert_eq!(runs.len(), SCENARIOS.len(), "one run per benched scenario");
+    for run in runs {
+        let scenario = run
+            .get("scenario")
+            .and_then(JsonValue::as_str)
+            .expect("run has a scenario");
+        assert!(
+            scenario.starts_with("service-"),
+            "service rows must never collide with soak scenario names"
+        );
+        for field in ["threads", "assigned_tasks", "planning_calls"] {
+            assert!(
+                run.get(field).and_then(JsonValue::as_u64).is_some(),
+                "run missing numeric `{field}` required by bench_compare"
+            );
+        }
+        let replan_p50 = run
+            .get("replan")
+            .and_then(|r| r.get("p50_ms"))
+            .and_then(JsonValue::as_f64)
+            .expect("replan p50 present");
+        assert!(replan_p50.is_finite(), "replan p50 must be finite");
+        let ingested = run
+            .get("ingest")
+            .and_then(|i| i.get("count"))
+            .and_then(JsonValue::as_u64)
+            .expect("ingest count present");
+        assert!(ingested > 0, "ingest histogram must have observed frames");
+    }
+    println!("wrote {path} ({} runs)", runs.len());
+    println!("service_bench_ok=1");
+}

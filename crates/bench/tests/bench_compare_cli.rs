@@ -1,0 +1,106 @@
+//! CLI-level checks of the `bench_compare` regression gate: intersection-only
+//! comparison, named skips for runs present in just one report, vacuous pass
+//! on fully disjoint reports, and the latency gate still firing on matched
+//! runs. Reports are synthesized as temp files and fed through `--files`, so
+//! the tests never depend on the committed `BENCH_<n>.json` history.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Minimal soak-report JSON carrying exactly the fields `load_runs` demands:
+/// `scenario`, numeric `threads`, `replan.p50_ms`, `assigned_tasks`,
+/// `planning_calls`.
+fn report(runs: &[(&str, u64, f64)]) -> String {
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|(scenario, threads, p50)| {
+            format!(
+                "{{\"scenario\":\"{scenario}\",\"threads\":{threads},\
+                 \"assigned_tasks\":100,\"planning_calls\":10,\
+                 \"replan\":{{\"p50_ms\":{p50}}}}}"
+            )
+        })
+        .collect();
+    format!("{{\"runs\":[{}]}}", rows.join(","))
+}
+
+/// Writes `old`/`new` reports under a per-test temp dir and runs
+/// `bench_compare --files OLD NEW` against them.
+fn compare(test: &str, old: &str, new: &str) -> Output {
+    let dir = std::env::temp_dir().join(format!("bench_compare_cli_{test}"));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let write = |name: &str, body: &str| -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, body).expect("write report");
+        path
+    };
+    let old_path = write("old.json", old);
+    let new_path = write("new.json", new);
+    Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .arg("--files")
+        .arg(&old_path)
+        .arg(&new_path)
+        .output()
+        .expect("run bench_compare")
+}
+
+#[test]
+fn disjoint_reports_pass_vacuously_and_name_every_skip() {
+    let old = report(&[("uniform-baseline", 1, 0.02), ("uniform-baseline", 4, 0.05)]);
+    let new = report(&[("service-uniform-baseline", 8, 0.10)]);
+    let out = compare("disjoint", &old, &new);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(
+        stdout.contains("skip old-only uniform-baseline threads=1"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("skip old-only uniform-baseline threads=4"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("skip new-only service-uniform-baseline threads=8"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("nothing to gate"), "{stdout}");
+    assert!(stdout.contains("bench_compare_ok=1"), "{stdout}");
+}
+
+#[test]
+fn partial_intersection_gates_shared_runs_and_names_the_rest() {
+    let old = report(&[("uniform-baseline", 1, 0.02), ("rush-hour-burst", 1, 0.08)]);
+    let new = report(&[("uniform-baseline", 1, 0.021), ("hotspot-drift", 1, 0.03)]);
+    let out = compare("partial", &old, &new);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(
+        stdout.contains("skip old-only rush-hour-burst threads=1"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("skip new-only hotspot-drift threads=1"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("ok   uniform-baseline threads=1"),
+        "the shared run must still be gated: {stdout}"
+    );
+    assert!(stdout.contains("bench_compare_ok=1"), "{stdout}");
+}
+
+#[test]
+fn matched_run_regression_still_fails() {
+    // 0.5 ms -> 2.0 ms blows through `old * 1.2 + 0.05`; the disjoint-skip
+    // path must not have weakened the gate on runs both reports share.
+    let old = report(&[("uniform-baseline", 1, 0.5)]);
+    let new = report(&[("uniform-baseline", 1, 2.0)]);
+    let out = compare("regression", &old, &new);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(
+        stdout.contains("FAIL uniform-baseline threads=1"),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("bench_compare_ok=1"), "{stdout}");
+}

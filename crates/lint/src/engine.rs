@@ -36,9 +36,26 @@ pub struct Report {
 }
 
 impl Report {
-    /// Whether the run should exit nonzero.
+    /// Whether the run should exit nonzero. Warnings (observe-only rules)
+    /// never fail a run; see [`rules::severity_of`].
     pub fn failed(&self) -> bool {
         self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
     }
 
     /// Renders the report as a single deterministic JSON object.

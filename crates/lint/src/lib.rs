@@ -15,6 +15,7 @@
 //! | `relaxed-atomic-audit` | `Ordering::Relaxed` outside the audited allowlist |
 //! | `unchecked-float-ordering` | `partial_cmp` call sites (NaN-unsafe sort keys) in planning code |
 //! | `unwrap-in-hot-path` | `unwrap`/`expect` in non-test `assign`/`stream` code |
+//! | `blocking-sleep` | `thread::sleep` in deterministic crates (observe-only warning) |
 //!
 //! The full catalogue — what each rule threatens, why, and how to suppress
 //! it with a rationale — lives in the top-level `LINTS.md`.
@@ -42,9 +43,14 @@
 //! cargo run -p datawa-lint --release -- --workspace --format json
 //! ```
 //!
-//! Exits `0` on a clean tree, `1` on any unsuppressed finding, `2` on usage
-//! or I/O errors. CI runs it in the `check` job next to fmt and clippy, and
-//! a dedicated `lint` job uploads the JSON report as an artifact.
+//! Exits `0` on a clean tree, `1` on any unsuppressed *error* finding, `2`
+//! on usage or I/O errors. Rules can land observe-only as
+//! [`Severity::Warning`]: their findings are reported (and carried in the
+//! JSON `severity` field) but never affect the exit code, so a new rule can
+//! bake against the tree before being promoted to `Error` in
+//! [`rules::severity_of`]. CI runs the linter in the `check` job next to
+//! fmt and clippy, and a dedicated `lint` job uploads the JSON report as an
+//! artifact.
 
 pub mod diag;
 pub mod engine;

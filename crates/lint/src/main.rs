@@ -68,8 +68,9 @@ fn main() -> ExitCode {
             println!("{f}");
         }
         eprintln!(
-            "datawa-lint: {} finding(s), {} suppressed, {} file(s) scanned",
-            report.findings.len(),
+            "datawa-lint: {} error(s), {} warning(s), {} suppressed, {} file(s) scanned",
+            report.errors(),
+            report.warnings(),
             report.suppressed,
             report.files_scanned
         );

@@ -14,8 +14,9 @@ pub const DETERMINISTIC_CRATES: &[&str] = &["assign", "stream", "core", "geo", "
 pub const HOT_PATH_CRATES: &[&str] = &["assign", "stream"];
 
 /// Crates allowed to read wall clocks: observability (span timers), the
-/// bench harness, and the service layer's live pacing.
-pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["obs", "bench", "service", "lint"];
+/// bench harness, the service layer's live pacing, and the transport
+/// front-end (ingest-latency spans, socket timeouts).
+pub const WALL_CLOCK_EXEMPT_CRATES: &[&str] = &["obs", "bench", "service", "lint", "net"];
 
 /// The one module allowed to call `std::env::var` (path suffix match).
 pub const ENV_GATEWAY: &str = "crates/core/src/env_config.rs";
@@ -63,11 +64,25 @@ pub const RULES: &[(&str, &str)] = &[
         "invalid-suppression",
         "a datawa-lint directive that does not parse or names an unknown rule",
     ),
+    (
+        "blocking-sleep",
+        "thread::sleep in a deterministic crate (observe-only)",
+    ),
 ];
 
 /// Whether `name` is a known rule.
 pub fn is_known_rule(name: &str) -> bool {
     RULES.iter().any(|(n, _)| *n == name)
+}
+
+/// The severity a rule's findings carry. New rules land here as `Warning`
+/// (reported, exit code unaffected) and are promoted to `Error` once the
+/// tree is clean under them; see `LINTS.md` for the catalogue.
+pub fn severity_of(rule: &str) -> Severity {
+    match rule {
+        "blocking-sleep" => Severity::Warning,
+        _ => Severity::Error,
+    }
 }
 
 /// Iterator-consuming method suffixes whose results leak hash order.
@@ -118,6 +133,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     relaxed_atomic(file, &mut findings);
     float_ordering(file, &mut findings);
     unwrap_in_hot_path(file, &mut findings);
+    blocking_sleep(file, &mut findings);
     findings
 }
 
@@ -130,7 +146,7 @@ fn in_crates(file: &SourceFile, list: &[&str]) -> bool {
 fn finding(file: &SourceFile, line: usize, rule: &'static str, message: String) -> Finding {
     Finding {
         rule,
-        severity: Severity::Error,
+        severity: severity_of(rule),
         path: file.rel_path.clone(),
         line: line + 1,
         message,
@@ -263,12 +279,32 @@ fn unordered_iteration(file: &SourceFile, findings: &mut Vec<Finding>) {
                 }
             }
         }
+        // Method-chain continuation: a line *starting* with `.keys()`-style
+        // suffix whose receiver — the trailing identifier of the previous
+        // code line — is a tracked hash binding:
+        //     let v: Vec<_> = self.index
+        //         .keys()
+        //         .collect();
+        if hit.is_none() {
+            let trimmed = code.trim_start();
+            if let Some(suffix) = ITER_SUFFIXES.iter().find(|s| trimmed.starts_with(**s)) {
+                if let Some(recv) = receiver_ident_before(file, i) {
+                    if idents.contains(&recv) {
+                        hit = Some(format!("{recv}{suffix}"));
+                    }
+                }
+            }
+        }
         if let Some(what) = hit {
             // Statement window: the flagged line through the end of its
-            // statement (`;`/`{`/`}`), capped at five lines — sinks inside
-            // it make the iteration order-insensitive. A sort on either of
-            // the two lines after the statement also counts as "immediately
-            // sorted" (`let v: Vec<_> = m.keys().collect(); v.sort();`).
+            // statement (`;`/`{`/`}`) — sinks inside it make the iteration
+            // order-insensitive. Normally capped at five lines, but method
+            // chains keep the window open while the next line continues the
+            // chain (starts with `.`), so a sink deep in a long chain is
+            // still seen; a hard cap bounds pathological files. A sort on
+            // either of the two lines after the statement also counts as
+            // "immediately sorted"
+            // (`let v: Vec<_> = m.keys().collect(); v.sort();`).
             let mut stmt = String::new();
             let mut j = i;
             loop {
@@ -280,8 +316,12 @@ fn unordered_iteration(file: &SourceFile, findings: &mut Vec<Finding>) {
                     || t.ends_with('{')
                     || t.ends_with('}')
                     || j + 1 >= file.lines.len()
-                    || j >= i + 4
+                    || j >= i + 15
                 {
+                    break;
+                }
+                let next_is_chain = file.lines[j + 1].code.trim_start().starts_with('.');
+                if j >= i + 4 && !next_is_chain {
                     break;
                 }
                 j += 1;
@@ -305,6 +345,38 @@ fn unordered_iteration(file: &SourceFile, findings: &mut Vec<Finding>) {
             ));
         }
     }
+}
+
+/// The trailing identifier of the nearest non-empty code line above `i` —
+/// the receiver of a method chain continued on line `i`. Mirrors the
+/// same-line boundary rules: a bare identifier or a `self.` field counts,
+/// `other.field` does not.
+fn receiver_ident_before(file: &SourceFile, i: usize) -> Option<String> {
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        let t = file.lines[k].code.trim_end();
+        if t.is_empty() {
+            continue;
+        }
+        let ident: String = t
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if ident.is_empty() || ident.chars().next().unwrap().is_ascii_digit() {
+            return None;
+        }
+        let before = &t[..t.len() - ident.len()];
+        let ok = before.is_empty()
+            || before.ends_with("self.")
+            || !before.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_' || c == '.');
+        return ok.then_some(ident);
+    }
+    None
 }
 
 fn first_suffix(after: &str) -> &'static str {
@@ -450,6 +522,28 @@ fn unwrap_in_hot_path(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+fn blocking_sleep(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !in_crates(file, DETERMINISTIC_CRATES) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        if line.code.contains("thread::sleep") {
+            findings.push(finding(
+                file,
+                i,
+                "blocking-sleep",
+                "`thread::sleep` in a deterministic crate stalls the simulated clock's \
+                 thread for wall time; model waiting as events, or move the sleep to the \
+                 service/net layer"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +589,99 @@ mod tests {
             .collect();
         assert_eq!(unordered.len(), 1, "{findings:?}");
         assert_eq!(unordered[0].line, 3);
+    }
+
+    #[test]
+    fn unordered_iteration_flags_chain_continuation_lines() {
+        // The iteration suffix sits on a continuation line; the receiver is
+        // the trailing identifier of the line above.
+        let f = parse(
+            "crates/assign/src/x.rs",
+            Some("assign"),
+            "fn f(index: &HashMap<u32, u32>) {\n\
+                 let v: Vec<_> = index\n\
+                     .keys()\n\
+                     .collect::<Vec<_>>();\n\
+                 consume(v);\n\
+             }\n",
+        );
+        let findings = check_file(&f);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "unordered-iteration");
+        assert_eq!(findings[0].line, 3, "the `.keys()` continuation line");
+    }
+
+    #[test]
+    fn chain_continuation_sort_on_following_line_is_not_flagged() {
+        let f = parse(
+            "crates/assign/src/x.rs",
+            Some("assign"),
+            "fn f(index: &HashMap<u32, u32>) {\n\
+                 let mut v: Vec<_> = index\n\
+                     .keys()\n\
+                     .collect::<Vec<_>>();\n\
+                 v.sort_unstable();\n\
+             }\n",
+        );
+        assert!(check_file(&f).is_empty(), "{:?}", check_file(&f));
+    }
+
+    #[test]
+    fn long_chains_keep_the_statement_window_open_to_the_sink() {
+        // `.sum()` sits past the five-line default window; chain
+        // continuation lines keep the window open until the statement ends.
+        let f = parse(
+            "crates/assign/src/x.rs",
+            Some("assign"),
+            "fn f(index: &HashMap<u32, u32>) {\n\
+                 let total: usize = index\n\
+                     .values()\n\
+                     .map(|v| *v as usize)\n\
+                     .filter(|n| *n > 0)\n\
+                     .map(|n| n * 2)\n\
+                     .map(|n| n + 1)\n\
+                     .sum();\n\
+                 consume(total);\n\
+             }\n",
+        );
+        assert!(check_file(&f).is_empty(), "{:?}", check_file(&f));
+    }
+
+    #[test]
+    fn chain_continuation_respects_receiver_boundaries() {
+        // `other.index` is some other value's field, not the tracked
+        // binding — the same rule the single-line matcher applies.
+        let f = parse(
+            "crates/assign/src/x.rs",
+            Some("assign"),
+            "fn f(index: &HashMap<u32, u32>, other: &Thing) {\n\
+                 let v: Vec<_> = other.index\n\
+                     .keys()\n\
+                     .collect::<Vec<_>>();\n\
+                 consume(v);\n\
+             }\n",
+        );
+        assert!(check_file(&f).is_empty(), "{:?}", check_file(&f));
+    }
+
+    #[test]
+    fn blocking_sleep_is_an_observe_only_warning() {
+        let hot = parse(
+            "crates/stream/src/x.rs",
+            Some("stream"),
+            "fn f() { std::thread::sleep(core::time::Duration::from_millis(1)); }\n",
+        );
+        let findings = check_file(&hot);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "blocking-sleep");
+        assert_eq!(findings[0].severity, Severity::Warning);
+        // The service layer's pacing sleeps are legitimate.
+        let paced = parse(
+            "crates/service/src/x.rs",
+            Some("service"),
+            "fn f() { std::thread::sleep(core::time::Duration::from_millis(1)); }\n",
+        );
+        assert!(check_file(&paced).is_empty());
     }
 
     #[test]

@@ -34,11 +34,15 @@ fn unordered_iteration_positive_negative_and_suppressed() {
     let report = scan("unordered_iteration.rs");
     assert_eq!(
         rules_of(&report),
-        ["unordered-iteration"],
+        ["unordered-iteration", "unordered-iteration"],
         "{:?}",
         report.findings
     );
     assert_eq!(report.findings[0].line, 8, "the bare `m.iter()` loop");
+    assert_eq!(
+        report.findings[1].line, 37,
+        "the `.keys()` chain-continuation line"
+    );
     assert_eq!(report.suppressed, 1, "the rationale-carrying loop");
     assert!(report.failed());
 }
@@ -109,6 +113,45 @@ fn unwrap_in_hot_path_positive_negative_and_suppressed() {
         report.findings
     );
     assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn blocking_sleep_warns_without_failing_the_run() {
+    let report = scan("blocking_sleep.rs");
+    assert_eq!(
+        rules_of(&report),
+        ["blocking-sleep"],
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].line, 7, "the thread::sleep call");
+    assert_eq!(report.findings[0].severity, datawa_lint::Severity::Warning);
+    assert_eq!(report.errors(), 0);
+    assert_eq!(report.warnings(), 1);
+    assert!(!report.failed(), "warnings must not fail the run");
+}
+
+#[test]
+fn cli_exits_zero_when_only_warnings_are_found() {
+    let out = Command::new(env!("CARGO_BIN_EXE_datawa-lint"))
+        .arg("--root")
+        .arg(fixtures_dir())
+        .arg("--context")
+        .arg("assign")
+        .arg("--format")
+        .arg("json")
+        .arg("blocking_sleep.rs")
+        .output()
+        .expect("run datawa-lint on the warning fixture");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "observe-only warnings must not affect the exit code: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\":\"blocking-sleep\""), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"warning\""), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,12 @@
+// Fixture: blocking-sleep (observe-only warning). Scanned with
+// `--context assign`, so this file masquerades as production code of a
+// deterministic crate. It is never compiled — the engine's workspace walk
+// skips `tests/fixtures`.
+
+fn positive_blocking_wait() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+
+fn negative_event_modelled_wait(queue: &mut EventQueue) {
+    queue.push(Event::ReplanTick, Timestamp(5.0));
+}

@@ -30,3 +30,31 @@ fn suppressed_with_rationale() {
         total += v;
     }
 }
+
+fn positive_chain_continuation() {
+    let mut m = HashMap::new();
+    let v: Vec<_> = m
+        .keys()
+        .collect::<Vec<_>>();
+    consume(v);
+}
+
+fn negative_chain_sorted_on_following_line() {
+    let mut m = HashMap::new();
+    let mut v: Vec<_> = m
+        .keys()
+        .collect::<Vec<_>>();
+    v.sort_unstable();
+}
+
+fn negative_long_chain_ends_in_commutative_sink() {
+    let mut m = HashMap::new();
+    let total: usize = m
+        .values()
+        .map(|v| *v as usize)
+        .filter(|n| *n > 0)
+        .map(|n| n * 2)
+        .map(|n| n + 1)
+        .sum();
+    consume(total);
+}

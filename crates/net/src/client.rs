@@ -1,0 +1,218 @@
+//! A loopback client for the wire protocol: handshake, event sending, and
+//! a background collector thread that drains server frames so decision
+//! traffic can never back up the socket while the client is still sending.
+
+use crate::wire::{
+    read_frame, write_frame, ErrorCode, Frame, RetryReason, WireError, PROTOCOL_VERSION,
+};
+use datawa_core::Timestamp;
+use datawa_stream::{Decision, Event};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+
+/// Everything the server streamed back over one connection's lifetime.
+#[derive(Debug, Default)]
+pub struct ClientOutcome {
+    /// Decisions, in the order the server emitted them.
+    pub decisions: Vec<Decision>,
+    /// Admission refusals: `(suggested backoff seconds, reason)` per
+    /// refused event.
+    pub retry_after: Vec<(f64, RetryReason)>,
+    /// Fatal protocol errors the server answered with.
+    pub errors: Vec<(ErrorCode, String)>,
+    /// The final session totals (present after an orderly `Close`).
+    pub closed: Option<ClosedSummary>,
+}
+
+/// The totals carried by a [`Frame::Closed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedSummary {
+    /// Tasks assigned over the whole session.
+    pub assigned: u64,
+    /// Decisions streamed back.
+    pub decisions: u64,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Planning invocations.
+    pub planning_calls: u64,
+}
+
+/// Why a connection attempt or send failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's first answer was unreadable.
+    Wire(WireError),
+    /// The server refused the handshake with a typed error.
+    Refused {
+        /// The refusal code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The connection cap was hit; retry after the suggested backoff.
+    Busy {
+        /// Suggested backoff in seconds.
+        retry_after_secs: f64,
+    },
+    /// The server answered the handshake with something unexpected.
+    UnexpectedFrame,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Refused { code, message } => {
+                write!(f, "refused ({code:?}): {message}")
+            }
+            ClientError::Busy { retry_after_secs } => {
+                write!(
+                    f,
+                    "server at connection cap; retry after {retry_after_secs}s"
+                )
+            }
+            ClientError::UnexpectedFrame => write!(f, "unexpected handshake answer"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected tenant client. Send events with the typed helpers; server
+/// frames are collected on a background thread and returned by
+/// [`NetClient::close`].
+#[derive(Debug)]
+pub struct NetClient {
+    writer: TcpStream,
+    collector: Option<JoinHandle<ClientOutcome>>,
+}
+
+impl NetClient {
+    /// Connects, performs the `Hello` handshake as `tenant`, and starts the
+    /// frame collector.
+    pub fn connect(addr: SocketAddr, tenant: &str, token: &str) -> Result<NetClient, ClientError> {
+        let mut writer = TcpStream::connect(addr)?;
+        // A server refusing at the connection cap may answer and FIN before
+        // this Hello ever lands, failing the write with a broken pipe — the
+        // refusal frame is still in the receive buffer, so read it before
+        // deciding how the handshake failed.
+        let hello_sent = write_frame(
+            &mut writer,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                tenant: tenant.to_string(),
+                token: token.to_string(),
+            },
+        );
+        let mut reader = BufReader::new(writer.try_clone()?);
+        match read_frame(&mut reader) {
+            Ok(Frame::HelloAck { .. }) => hello_sent?,
+            Ok(Frame::RetryAfter {
+                seconds,
+                reason: RetryReason::ConnectionCap,
+            }) => {
+                return Err(ClientError::Busy {
+                    retry_after_secs: seconds,
+                })
+            }
+            Ok(Frame::Error { code, message }) => {
+                return Err(ClientError::Refused { code, message })
+            }
+            Ok(_) => return Err(ClientError::UnexpectedFrame),
+            // Nothing readable either: report the write failure when there
+            // was one (the root cause), else the read error.
+            Err(e) => {
+                hello_sent?;
+                return Err(ClientError::Wire(e));
+            }
+        }
+        let collector = std::thread::spawn(move || collect(reader));
+        Ok(NetClient {
+            writer,
+            collector: Some(collector),
+        })
+    }
+
+    /// Sends one engine event at `time`.
+    pub fn send_event(&mut self, time: Timestamp, event: &Event) -> std::io::Result<()> {
+        write_frame(&mut self.writer, &Frame::from_event(time, event))
+    }
+
+    /// Asks the server to advance the tenant session to `time`.
+    pub fn advance_to(&mut self, time: Timestamp) -> std::io::Result<()> {
+        write_frame(&mut self.writer, &Frame::AdvanceTo { time })
+    }
+
+    /// Sends a raw frame (tests use this to probe protocol violations).
+    pub fn send_frame(&mut self, frame: &Frame) -> std::io::Result<()> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    /// Sends `Close`, waits for the server to drain the session, and
+    /// returns everything it streamed back.
+    pub fn close(mut self) -> ClientOutcome {
+        // The server may already have closed the connection (protocol error
+        // paths); the collector still holds whatever arrived before that.
+        let _ = write_frame(&mut self.writer, &Frame::Close);
+        self.join_collector()
+    }
+
+    /// Drops the write half without an orderly `Close` (tests use this for
+    /// mid-stream disconnects) and returns what was collected.
+    pub fn abandon(mut self) -> ClientOutcome {
+        let _ = self.writer.shutdown(std::net::Shutdown::Write);
+        self.join_collector()
+    }
+
+    fn join_collector(&mut self) -> ClientOutcome {
+        self.collector
+            .take()
+            .map(|c| c.join().unwrap_or_default())
+            .unwrap_or_default()
+    }
+}
+
+/// Drains server frames until the stream ends, accumulating the outcome.
+fn collect(mut reader: BufReader<TcpStream>) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Frame::RetryAfter { seconds, reason }) => {
+                outcome.retry_after.push((seconds, reason));
+            }
+            Ok(Frame::Error { code, message }) => {
+                outcome.errors.push((code, message));
+            }
+            Ok(Frame::Closed {
+                assigned,
+                decisions,
+                events,
+                planning_calls,
+            }) => {
+                outcome.closed = Some(ClosedSummary {
+                    assigned,
+                    decisions,
+                    events,
+                    planning_calls,
+                });
+                return outcome;
+            }
+            Ok(frame) => {
+                if let Some(decision) = frame.into_decision() {
+                    outcome.decisions.push(decision);
+                }
+            }
+            Err(_) => return outcome, // disconnect: report what we have
+        }
+    }
+}

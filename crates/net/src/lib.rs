@@ -1,0 +1,52 @@
+//! # datawa-net
+//!
+//! The TCP transport front-end over the `datawa-service` dispatch stack: a
+//! hand-rolled length-prefixed binary wire protocol (normatively described
+//! in `PROTOCOL.md` at the workspace root), a threaded acceptor that
+//! multiplexes many concurrent client connections onto per-tenant dispatch
+//! sessions, and admission control that degrades gracefully — retry-after
+//! frames and stalest-tenant shedding — instead of dropping events
+//! silently.
+//!
+//! ## Shape
+//!
+//! * [`wire`] — the [`Frame`] vocabulary and its codec: the engine's event
+//!   types (task arrival/expiration, worker online/offline, replan,
+//!   advance, close) plus tenant hello/auth, decision, retry-after, error
+//!   and closed frames. Total decoding: hostile bytes become typed
+//!   [`WireError`]s, never panics.
+//! * [`server`] — [`NetServer`]: the acceptor, the per-connection reader
+//!   threads, the per-tenant pump threads (each one a
+//!   [`DispatchService`](datawa_service::DispatchService) fed by a
+//!   [`NetSource`](datawa_service::NetSource)), and the three admission
+//!   layers ([connection cap, global shedding, per-tenant
+//!   quota](NetConfig)).
+//! * [`client`] — [`NetClient`]: a loopback client with a background frame
+//!   collector, which is how CI exercises the full stack over
+//!   `127.0.0.1` without real network access.
+//!
+//! ## Observability
+//!
+//! Every server carries an attached
+//! [`MetricsRegistry`](datawa_obs::MetricsRegistry)
+//! ([`NetServer::metrics`]): `net.connections` (gauge), `net.frames_in` /
+//! `net.frames_out`, `net.rejected_admission`, the `net.ingest_seconds`
+//! latency histogram, and per-tenant `net.tenant.<name>.frames_in` /
+//! `.decisions` / `.rejected` counters — alongside every tenant session's
+//! engine and planner metrics, since the sessions record into the same
+//! registry.
+//!
+//! ## Equivalence
+//!
+//! The transport adds no behaviour: a workload streamed through a loopback
+//! connection produces decisions bitwise-identical to the same workload
+//! driven through `Session::ingest` directly (pinned per policy and
+//! generator by `tests/net_equivalence.rs`).
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, ClientOutcome, ClosedSummary, NetClient};
+pub use server::{NetConfig, NetServer};
+pub use wire::{ErrorCode, Frame, RetryReason, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -1,0 +1,634 @@
+//! The threaded TCP acceptor: many concurrent client connections, one
+//! dispatch session per tenant, admission control in front of the pump.
+//!
+//! ## Threads
+//!
+//! * **Acceptor** — blocks on `accept`, enforces the global connection cap
+//!   (over-cap connections get a [`Frame::RetryAfter`] and are closed), and
+//!   spawns one *connection* thread per accepted socket.
+//! * **Connection (reader)** — performs the `Hello` handshake, registers
+//!   the tenant (one live connection per tenant name), then decodes frames
+//!   and applies admission control before pushing events into the tenant's
+//!   [`NetSource`]. Protocol violations answer with a typed
+//!   [`Frame::Error`] and close *this* connection only — a misbehaving
+//!   client can never stall another tenant's session.
+//! * **Pump** — one per tenant connection: owns the tenant's
+//!   [`AdaptiveRunner`] and [`DispatchService`] and blocks on the
+//!   `NetSource` channel, streaming every [`Decision`] back to the owning
+//!   socket through a routing `FrameSink`. Ends by writing the session
+//!   totals as a [`Frame::Closed`].
+//!
+//! ## Admission control
+//!
+//! Three layers, all answering with retry-after frames instead of silently
+//! dropping (the refused event is *not* ingested; the client owns the
+//! retry):
+//!
+//! 1. **Connection cap** (`max_connections`) at accept time.
+//! 2. **Global backlog cap** (`global_pending_cap`): when the sum of all
+//!    tenants' un-pumped backlogs exceeds it, the *stalest* tenant (oldest
+//!    live connection) is shed — its ingests are refused with
+//!    [`RetryReason::GlobalOverload`] until pressure clears.
+//! 3. **Per-tenant quota** (`tenant_pending_quota`): a tenant whose own
+//!    backlog exceeds its quota is refused with
+//!    [`RetryReason::TenantQuota`].
+//!
+//! Below all of that, each session still runs the service layer's bounded
+//! backlog (`ServiceConfig::max_pending`), so an admitted burst drains
+//! through the engine exactly like any other `DispatchService` run.
+
+use crate::wire::{read_frame, write_frame, ErrorCode, Frame, RetryReason, WireError};
+use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind, StaticForecast, TaskValueFunction};
+use datawa_obs::{Counter, Histogram, MetricsRegistry};
+use datawa_service::{DispatchService, NetSource, NetSourceHandle, ServiceConfig};
+use datawa_stream::{Decision, DecisionSink};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration: which policy tenants run, and where the admission
+/// limits sit.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Assignment policy every tenant session runs.
+    pub policy: PolicyKind,
+    /// Planner configuration (thread pool, travel model, …).
+    pub assign: AssignConfig,
+    /// Per-session service behaviour (engine config, bounded backlog).
+    pub service: ServiceConfig,
+    /// Shared-secret token `Hello` frames must carry; `None` disables auth.
+    pub auth_token: Option<String>,
+    /// Global cap on concurrently served connections.
+    pub max_connections: usize,
+    /// Per-tenant bound on events pushed but not yet pumped.
+    pub tenant_pending_quota: usize,
+    /// Server-wide bound on the summed backlog before the stalest tenant is
+    /// shed.
+    pub global_pending_cap: usize,
+    /// Backoff carried in retry-after frames, in seconds.
+    pub retry_after_secs: f64,
+    /// Hidden width of the per-tenant Task Value Function (DATA-WA only).
+    pub tvf_hidden: usize,
+    /// Seed for the per-tenant TVF weights. Every tenant pump builds its TVF
+    /// from `(tvf_hidden, tvf_seed)`, so a direct run constructed with
+    /// `TaskValueFunction::new(tvf_hidden, tvf_seed)` is bit-identical.
+    pub tvf_seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            policy: PolicyKind::Greedy,
+            assign: AssignConfig::default(),
+            service: ServiceConfig::default(),
+            auth_token: None,
+            max_connections: 64,
+            tenant_pending_quota: 1024,
+            global_pending_cap: 8192,
+            retry_after_secs: 0.05,
+            tvf_hidden: 8,
+            tvf_seed: 0,
+        }
+    }
+}
+
+/// Admission-control state of one live tenant connection.
+struct TenantSlot {
+    /// A clone of the tenant's source handle — `pending()` is the tenant's
+    /// un-pumped backlog, which the global-pressure sum reads.
+    handle: NetSourceHandle,
+    /// Set when the global cap shed this tenant; cleared by its own reader
+    /// once pressure drops back under the cap.
+    shed: Arc<AtomicBool>,
+    /// Connection sequence number — lower = older = first to be shed.
+    seq: u64,
+}
+
+/// State shared by the acceptor and every connection/pump thread.
+struct Shared {
+    cfg: NetConfig,
+    obs: MetricsRegistry,
+    live_connections: AtomicUsize,
+    conn_seq: AtomicU64,
+    tenants: Mutex<BTreeMap<String, TenantSlot>>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Summed un-pumped backlog across every live tenant.
+    fn global_pending(&self) -> usize {
+        let tenants = self.tenants.lock().expect("tenant registry poisoned");
+        tenants.values().map(|t| t.handle.pending()).sum()
+    }
+
+    /// Marks the stalest (oldest-connection) un-shed tenant for shedding.
+    fn shed_stalest(&self) {
+        let tenants = self.tenants.lock().expect("tenant registry poisoned");
+        if tenants.values().any(|t| t.shed.load(Ordering::SeqCst)) {
+            return; // one sacrifice at a time; re-evaluated as pressure persists
+        }
+        if let Some(stalest) = tenants.values().min_by_key(|t| t.seq) {
+            stalest.shed.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Handles to the obs counters a connection touches per frame.
+struct ConnMetrics {
+    frames_in: Counter,
+    frames_out: Counter,
+    rejected: Counter,
+    ingest_seconds: Histogram,
+    tenant_frames_in: Counter,
+    tenant_rejected: Counter,
+}
+
+impl ConnMetrics {
+    fn for_tenant(obs: &MetricsRegistry, tenant: &str) -> ConnMetrics {
+        ConnMetrics {
+            frames_in: obs.counter("net.frames_in"),
+            frames_out: obs.counter("net.frames_out"),
+            rejected: obs.counter("net.rejected_admission"),
+            ingest_seconds: obs.histogram("net.ingest_seconds"),
+            tenant_frames_in: obs.counter(&format!("net.tenant.{tenant}.frames_in")),
+            tenant_rejected: obs.counter(&format!("net.tenant.{tenant}.rejected")),
+        }
+    }
+}
+
+/// The socket's write half, shared between the reader (errors, retry-afters)
+/// and the pump's sink (decisions), so frames never interleave mid-frame.
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+/// Every spawned connection thread plus a clone of its socket's read half,
+/// kept so [`NetServer::shutdown`] can unblock a parked reader and join it.
+type WorkerList = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// Writes one frame, counting it; write failures (client already gone) are
+/// reported but must not kill the session — the pump still drains and the
+/// totals still land in the obs registry.
+fn send(writer: &SharedWriter, frames_out: &Counter, frame: &Frame) -> bool {
+    let mut stream = writer.lock().expect("connection writer poisoned");
+    let ok = write_frame(&mut *stream, frame).is_ok();
+    if ok {
+        frames_out.inc();
+    }
+    ok
+}
+
+/// The routing [`DecisionSink`]: encodes every decision of one tenant's
+/// session as a frame on that tenant's own connection.
+struct FrameSink {
+    writer: SharedWriter,
+    frames_out: Counter,
+    tenant_decisions: Counter,
+    emitted: u64,
+    undeliverable: u64,
+}
+
+impl DecisionSink for FrameSink {
+    fn emit(&mut self, decision: Decision) {
+        self.emitted += 1;
+        self.tenant_decisions.inc();
+        if !send(
+            &self.writer,
+            &self.frames_out,
+            &Frame::from_decision(&decision),
+        ) {
+            self.undeliverable += 1;
+        }
+    }
+}
+
+/// A running TCP front-end. Bound to a loopback address; dropped or
+/// [`shutdown`](NetServer::shutdown) servers join every thread they spawned.
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: WorkerList,
+}
+
+impl NetServer {
+    /// Binds `127.0.0.1:0` (an ephemeral loopback port — this front-end is
+    /// CI-testable without real network access) and starts the acceptor.
+    pub fn bind(cfg: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            obs: MetricsRegistry::new(),
+            live_connections: AtomicUsize::new(0),
+            conn_seq: AtomicU64::new(0),
+            tenants: Mutex::new(BTreeMap::new()),
+            stop: AtomicBool::new(false),
+        });
+        let workers: WorkerList = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &workers))
+        };
+        Ok(NetServer {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's observability registry (`net.*` counters, per-tenant
+    /// counters, the ingest-latency histogram, plus every session's engine
+    /// and planner metrics).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.obs
+    }
+
+    /// Live connections being served right now.
+    pub fn connections(&self) -> usize {
+        self.shared.live_connections.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, unblocks and joins every connection thread, and
+    /// joins the acceptor. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for (handle, stream) in workers {
+            // Unblocks a reader parked in `read_exact` on a live client.
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, workers: &WorkerList) {
+    let connections_gauge = shared.obs.gauge("net.connections");
+    let frames_out = shared.obs.counter("net.frames_out");
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if shared.live_connections.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            // Graceful degradation at the cap: tell the client when to come
+            // back instead of silently resetting the connection.
+            shared.obs.counter("net.rejected_admission").inc();
+            let mut stream = stream;
+            if write_frame(
+                &mut stream,
+                &Frame::RetryAfter {
+                    seconds: shared.cfg.retry_after_secs,
+                    reason: RetryReason::ConnectionCap,
+                },
+            )
+            .is_ok()
+            {
+                frames_out.inc();
+            }
+            // Closing outright can race the client's in-flight Hello: its
+            // unread bytes would turn the close into an RST, which may
+            // discard the buffered RetryAfter before the client reads it.
+            // Instead FIN the write half and drain the client briefly off
+            // the acceptor thread, so the frame stays deliverable.
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(1)));
+            let _ = stream.shutdown(Shutdown::Write);
+            std::thread::spawn(move || {
+                let mut sink = [0u8; 256];
+                while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+            });
+            continue;
+        }
+        let n = shared.live_connections.fetch_add(1, Ordering::SeqCst) + 1;
+        connections_gauge.set(n as i64);
+        let read_half = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => {
+                shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+        };
+        let handle = {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || {
+                connection_main(&shared, stream);
+                let left = shared.live_connections.fetch_sub(1, Ordering::SeqCst) - 1;
+                shared.obs.gauge("net.connections").set(left as i64);
+            })
+        };
+        workers
+            .lock()
+            .expect("worker list poisoned")
+            .push((handle, read_half));
+    }
+}
+
+/// Reads and validates the handshake. Answers on the socket itself on
+/// failure and returns `None` (the connection is then closed).
+fn handshake(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    writer: &SharedWriter,
+    frames_out: &Counter,
+) -> Option<String> {
+    let refuse = |code, message: &str| {
+        send(
+            writer,
+            frames_out,
+            &Frame::Error {
+                code,
+                message: message.to_string(),
+            },
+        );
+        None
+    };
+    let frame = match read_frame(reader) {
+        Ok(frame) => frame,
+        Err(e) if e.is_clean_eof() => return None, // probe connection, no Hello
+        Err(_) => return refuse(ErrorCode::BadHello, "first frame was not a Hello"),
+    };
+    let Frame::Hello {
+        version,
+        tenant,
+        token,
+    } = frame
+    else {
+        return refuse(ErrorCode::BadHello, "first frame was not a Hello");
+    };
+    if version != crate::wire::PROTOCOL_VERSION {
+        return refuse(
+            ErrorCode::VersionMismatch,
+            &format!(
+                "protocol version {version} unsupported (server speaks {})",
+                crate::wire::PROTOCOL_VERSION
+            ),
+        );
+    }
+    if tenant.is_empty() || tenant.len() > 64 || !tenant.bytes().all(|b| b.is_ascii_graphic()) {
+        return refuse(
+            ErrorCode::BadHello,
+            "tenant name must be 1..=64 printable ASCII bytes",
+        );
+    }
+    if let Some(expected) = &shared.cfg.auth_token {
+        if &token != expected {
+            return refuse(ErrorCode::AuthFailed, "bad auth token");
+        }
+    }
+    Some(tenant)
+}
+
+fn connection_main(shared: &Arc<Shared>, stream: TcpStream) {
+    let frames_out = shared.obs.counter("net.frames_out");
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    let Some(tenant) = handshake(shared, &mut reader, &writer, &frames_out) else {
+        return;
+    };
+
+    // Register the tenant: one live connection per tenant name.
+    let (handle, source) = NetSource::channel();
+    let seq = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+    let shed = Arc::new(AtomicBool::new(false));
+    {
+        let mut tenants = shared.tenants.lock().expect("tenant registry poisoned");
+        if tenants.contains_key(&tenant) {
+            send(
+                &writer,
+                &frames_out,
+                &Frame::Error {
+                    code: ErrorCode::TenantBusy,
+                    message: format!("tenant {tenant} already has a live connection"),
+                },
+            );
+            return;
+        }
+        tenants.insert(
+            tenant.clone(),
+            TenantSlot {
+                handle: handle.clone(),
+                shed: Arc::clone(&shed),
+                seq,
+            },
+        );
+    }
+    let metrics = ConnMetrics::for_tenant(&shared.obs, &tenant);
+    send(
+        &writer,
+        &frames_out,
+        &Frame::HelloAck {
+            version: crate::wire::PROTOCOL_VERSION,
+        },
+    );
+
+    // The pump: this tenant's whole dispatch stack, fed by the channel.
+    let pump = {
+        let shared = Arc::clone(shared);
+        let writer = Arc::clone(&writer);
+        let sink = FrameSink {
+            writer: Arc::clone(&writer),
+            frames_out: shared.obs.counter("net.frames_out"),
+            tenant_decisions: shared
+                .obs
+                .counter(&format!("net.tenant.{tenant}.decisions")),
+            emitted: 0,
+            undeliverable: 0,
+        };
+        std::thread::spawn(move || {
+            let mut runner = AdaptiveRunner::new(shared.cfg.assign, shared.cfg.policy)
+                .with_metrics(shared.obs.clone());
+            if shared.cfg.policy == PolicyKind::DataWa {
+                // with_tvf consumes the TVF and the type is not Clone, so
+                // every pump rebuilds it from the shared (hidden, seed) pair
+                // — deterministic, hence still bit-equal to a direct run.
+                runner = runner.with_tvf(TaskValueFunction::new(
+                    shared.cfg.tvf_hidden,
+                    shared.cfg.tvf_seed,
+                ));
+            }
+            let mut forecast = StaticForecast::default();
+            let service =
+                DispatchService::open(&runner, &mut forecast, source, sink, shared.cfg.service);
+            let (outcome, _stats, sink) = service.run();
+            send(
+                &writer,
+                &shared.obs.counter("net.frames_out"),
+                &Frame::Closed {
+                    assigned: outcome.run.assigned_tasks as u64,
+                    decisions: sink.emitted,
+                    events: outcome.stats.events_processed as u64,
+                    planning_calls: outcome.run.planning_calls as u64,
+                },
+            );
+        })
+    };
+
+    read_loop(shared, &mut reader, &writer, &handle, &shed, &metrics);
+
+    // End of stream (orderly Close, protocol violation, or disconnect):
+    // deregister first — the registry slot holds a sender clone, so the
+    // source only exhausts once both it and the reader's handle are gone —
+    // then let the pump drain the session and report totals.
+    shared
+        .tenants
+        .lock()
+        .expect("tenant registry poisoned")
+        .remove(&tenant);
+    handle.close();
+    let _ = pump.join();
+}
+
+/// Decodes frames and applies admission until the stream ends.
+fn read_loop(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    writer: &SharedWriter,
+    handle: &NetSourceHandle,
+    shed: &Arc<AtomicBool>,
+    metrics: &ConnMetrics,
+) {
+    // Times must be non-decreasing per connection; an AdvanceTo moves the
+    // session watermark, so a later event below it would panic the pump.
+    let mut watermark = f64::NEG_INFINITY;
+    let protocol_error = |writer: &SharedWriter, code, message: String| {
+        send(writer, &metrics.frames_out, &Frame::Error { code, message });
+    };
+    loop {
+        let frame = match read_frame(reader) {
+            Ok(frame) => frame,
+            Err(WireError::Io(_)) => return, // disconnect (mid-frame or clean)
+            Err(e) => {
+                // Junk bytes, oversized prefix, unknown type: answer with a
+                // typed error, then close this connection only.
+                protocol_error(writer, ErrorCode::Protocol, e.to_string());
+                return;
+            }
+        };
+        metrics.frames_in.inc();
+        metrics.tenant_frames_in.inc();
+        match frame {
+            Frame::Close => return,
+            Frame::AdvanceTo { time } => {
+                if time.0 < watermark {
+                    protocol_error(
+                        writer,
+                        ErrorCode::BadEvent,
+                        format!("AdvanceTo {} is behind watermark {watermark}", time.0),
+                    );
+                    return;
+                }
+                watermark = time.0;
+                if handle.push_advance(time).is_err() {
+                    return; // pump is gone; nothing more to ingest
+                }
+            }
+            event_frame @ (Frame::TaskArrival { .. }
+            | Frame::WorkerOnline { .. }
+            | Frame::TaskExpiration { .. }
+            | Frame::WorkerOffline { .. }
+            | Frame::ReplanTick { .. }) => {
+                let _ingest_span = metrics.ingest_seconds.span();
+                if let Frame::TaskArrival { task, .. } = &event_frame {
+                    if !task.is_well_formed() {
+                        protocol_error(
+                            writer,
+                            ErrorCode::BadEvent,
+                            format!("malformed task {}", task.id),
+                        );
+                        return;
+                    }
+                }
+                if let Frame::WorkerOnline { worker, .. } = &event_frame {
+                    if !worker.is_well_formed() {
+                        protocol_error(
+                            writer,
+                            ErrorCode::BadEvent,
+                            format!("malformed worker {}", worker.id),
+                        );
+                        return;
+                    }
+                }
+                let (time, event) = event_frame.into_event().expect("matched an event frame");
+                if time.0 < watermark {
+                    protocol_error(
+                        writer,
+                        ErrorCode::BadEvent,
+                        format!("event at {} is behind watermark {watermark}", time.0),
+                    );
+                    return;
+                }
+                // Admission, global first: under server-wide pressure the
+                // stalest tenant is shed, and a shed tenant stays refused
+                // until the total backlog is back under the cap.
+                if shared.global_pending() >= shared.cfg.global_pending_cap {
+                    shared.shed_stalest();
+                } else {
+                    shed.store(false, Ordering::SeqCst);
+                }
+                let reason = if shed.load(Ordering::SeqCst) {
+                    Some(RetryReason::GlobalOverload)
+                } else if handle.pending() >= shared.cfg.tenant_pending_quota {
+                    Some(RetryReason::TenantQuota)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    metrics.rejected.inc();
+                    metrics.tenant_rejected.inc();
+                    send(
+                        writer,
+                        &metrics.frames_out,
+                        &Frame::RetryAfter {
+                            seconds: shared.cfg.retry_after_secs,
+                            reason,
+                        },
+                    );
+                    continue;
+                }
+                watermark = time.0;
+                if handle.push_event(time, event).is_err() {
+                    return;
+                }
+            }
+            Frame::Hello { .. } => {
+                protocol_error(
+                    writer,
+                    ErrorCode::Protocol,
+                    "Hello after handshake".to_string(),
+                );
+                return;
+            }
+            _server_only => {
+                protocol_error(
+                    writer,
+                    ErrorCode::Protocol,
+                    "client sent a server-only frame".to_string(),
+                );
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,930 @@
+//! The length-prefixed binary wire protocol (see `PROTOCOL.md` at the
+//! workspace root for the normative byte-level description).
+//!
+//! Every frame on the wire is a little-endian `u32` payload length followed
+//! by the payload; the payload's first byte is the frame type (client→server
+//! types in `0x01..=0x7f`, server→client in `0x80..=0xff`). Payloads are
+//! fixed-layout primitives — `f64` as IEEE-754 little-endian bits, strings
+//! as a `u16` length plus UTF-8 bytes — so a decoded [`Frame`] re-encodes to
+//! the identical bytes (pinned by round-trip proptests in
+//! `tests/codec_roundtrip.rs`).
+//!
+//! Decoding is total: junk bytes, truncated payloads, unknown types,
+//! non-finite floats and oversized length prefixes all surface as typed
+//! [`WireError`]s, never panics — a misbehaving client must not be able to
+//! take down a connection handler with malformed input.
+
+use datawa_core::{
+    AvailabilityWindow, Location, Task, TaskId, Timestamp, Worker, WorkerId, WorkerMode,
+};
+use datawa_stream::{Decision, Event};
+use std::io::{Read, Write};
+
+/// Protocol version carried (and checked) in the `Hello` handshake.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload. The largest legitimate frame is a
+/// `Hello` with maximal tenant/token strings; event and decision frames are
+/// all well under 100 bytes. Anything larger is a framing desync or an
+/// attack, and is rejected before any allocation of the claimed size.
+pub const MAX_FRAME_LEN: usize = 4096;
+
+/// Why an admission was refused, carried in a [`Frame::RetryAfter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryReason {
+    /// This tenant's own ingest backlog exceeded its quota.
+    TenantQuota,
+    /// The server-wide backlog cap was exceeded and this tenant (the
+    /// stalest admitter) is being shed until pressure clears.
+    GlobalOverload,
+    /// The global connection cap was reached; the connection is closed.
+    ConnectionCap,
+}
+
+impl RetryReason {
+    fn to_byte(self) -> u8 {
+        match self {
+            RetryReason::TenantQuota => 0,
+            RetryReason::GlobalOverload => 1,
+            RetryReason::ConnectionCap => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<RetryReason, WireError> {
+        match b {
+            0 => Ok(RetryReason::TenantQuota),
+            1 => Ok(RetryReason::GlobalOverload),
+            2 => Ok(RetryReason::ConnectionCap),
+            _ => Err(WireError::Malformed("unknown retry-after reason")),
+        }
+    }
+}
+
+/// A fatal protocol error, carried in a [`Frame::Error`] before the server
+/// closes the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The first frame was not a well-formed `Hello`.
+    BadHello,
+    /// The `Hello` version byte does not match [`PROTOCOL_VERSION`].
+    VersionMismatch,
+    /// The `Hello` token was rejected.
+    AuthFailed,
+    /// Another live connection already owns this tenant name.
+    TenantBusy,
+    /// A frame violated the protocol (unknown type, malformed payload,
+    /// oversized length prefix, client sent a server-only frame, …).
+    Protocol,
+    /// An event frame violated the session's time contract (non-finite or
+    /// decreasing timestamp, malformed task/worker fields).
+    BadEvent,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::BadHello => 0,
+            ErrorCode::VersionMismatch => 1,
+            ErrorCode::AuthFailed => 2,
+            ErrorCode::TenantBusy => 3,
+            ErrorCode::Protocol => 4,
+            ErrorCode::BadEvent => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<ErrorCode, WireError> {
+        match b {
+            0 => Ok(ErrorCode::BadHello),
+            1 => Ok(ErrorCode::VersionMismatch),
+            2 => Ok(ErrorCode::AuthFailed),
+            3 => Ok(ErrorCode::TenantBusy),
+            4 => Ok(ErrorCode::Protocol),
+            5 => Ok(ErrorCode::BadEvent),
+            _ => Err(WireError::Malformed("unknown error code")),
+        }
+    }
+}
+
+/// One protocol frame, client→server or server→client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    // ---- client → server ----
+    /// Handshake: must be the first frame on a connection.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u8,
+        /// Tenant name this connection ingests for (one live connection per
+        /// tenant).
+        tenant: String,
+        /// Shared-secret auth token (checked when the server has one).
+        token: String,
+    },
+    /// A task publication at `time`.
+    TaskArrival {
+        /// Ingest instant.
+        time: Timestamp,
+        /// The published task.
+        task: Task,
+    },
+    /// A worker check-in at `time`.
+    WorkerOnline {
+        /// Ingest instant.
+        time: Timestamp,
+        /// The worker coming online.
+        worker: Worker,
+    },
+    /// An externally-driven task expiration.
+    TaskExpiration {
+        /// Ingest instant.
+        time: Timestamp,
+        /// The expiring task.
+        task: TaskId,
+    },
+    /// An externally-driven worker departure.
+    WorkerOffline {
+        /// Ingest instant.
+        time: Timestamp,
+        /// The departing worker.
+        worker: WorkerId,
+    },
+    /// An explicit re-planning request at `time`.
+    ReplanTick {
+        /// Ingest instant.
+        time: Timestamp,
+    },
+    /// Advance the session through a quiet period to `time`.
+    AdvanceTo {
+        /// Target instant.
+        time: Timestamp,
+    },
+    /// Orderly end of the tenant's stream; the server drains the session
+    /// and answers with [`Frame::Closed`].
+    Close,
+
+    // ---- server → client ----
+    /// Handshake accepted.
+    HelloAck {
+        /// The server's protocol version.
+        version: u8,
+    },
+    /// A worker departs for a task ([`Decision::Dispatch`]).
+    Dispatch {
+        /// Decision instant.
+        at: Timestamp,
+        /// Dispatched worker.
+        worker: WorkerId,
+        /// Task it will serve.
+        task: TaskId,
+        /// When the worker reaches the task.
+        eta: Timestamp,
+    },
+    /// A task expired unserved ([`Decision::TaskExpired`]).
+    TaskExpired {
+        /// Expiration instant.
+        at: Timestamp,
+        /// The lost task.
+        task: TaskId,
+    },
+    /// A worker's availability window closed ([`Decision::WorkerOffline`]).
+    OfflineNotice {
+        /// Window-close instant.
+        at: Timestamp,
+        /// The departing worker.
+        worker: WorkerId,
+    },
+    /// Admission refused; the event was *not* ingested. Retry after the
+    /// suggested backoff.
+    RetryAfter {
+        /// Suggested client backoff in seconds.
+        seconds: f64,
+        /// Which limit was hit.
+        reason: RetryReason,
+    },
+    /// Fatal protocol error; the server closes the connection after this.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Final frame of an orderly shutdown: the session's totals.
+    Closed {
+        /// Tasks assigned over the whole session.
+        assigned: u64,
+        /// Decisions streamed back (dispatches + expirations + offlines).
+        decisions: u64,
+        /// Events the engine processed (including auto-scheduled lifetimes).
+        events: u64,
+        /// Planning invocations.
+        planning_calls: u64,
+    },
+}
+
+/// A decode or transport failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/file error.
+    Io(std::io::Error),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`] (or was zero).
+    BadLength(usize),
+    /// The payload ended before the advertised field layout.
+    Truncated,
+    /// The payload's first byte is not a known frame type.
+    UnknownType(u8),
+    /// A field violated its invariant (bad enum byte, non-UTF-8 string,
+    /// non-finite float, trailing garbage).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::BadLength(n) => {
+                write!(f, "frame length {n} outside 1..={MAX_FRAME_LEN}")
+            }
+            WireError::Truncated => write!(f, "payload shorter than its frame layout"),
+            WireError::UnknownType(b) => write!(f, "unknown frame type byte {b:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether this is a clean end-of-stream *between* frames (the peer hung
+    /// up without violating the protocol mid-frame).
+    pub fn is_clean_eof(&self) -> bool {
+        matches!(self, WireError::Io(e) if e.kind() == std::io::ErrorKind::UnexpectedEof)
+    }
+}
+
+// Frame type bytes. Client→server types have the high bit clear,
+// server→client types have it set.
+const T_HELLO: u8 = 0x01;
+const T_TASK_ARRIVAL: u8 = 0x02;
+const T_WORKER_ONLINE: u8 = 0x03;
+const T_TASK_EXPIRATION: u8 = 0x04;
+const T_WORKER_OFFLINE: u8 = 0x05;
+const T_REPLAN_TICK: u8 = 0x06;
+const T_ADVANCE_TO: u8 = 0x07;
+const T_CLOSE: u8 = 0x08;
+const T_HELLO_ACK: u8 = 0x81;
+const T_DISPATCH: u8 = 0x82;
+const T_TASK_EXPIRED: u8 = 0x83;
+const T_OFFLINE_NOTICE: u8 = 0x84;
+const T_RETRY_AFTER: u8 = 0x85;
+const T_ERROR: u8 = 0x86;
+const T_CLOSED: u8 = 0x87;
+
+/// Sequential payload writer.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(ty: u8) -> Enc {
+        Enc { buf: vec![ty] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize, "string field too long");
+        self.buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Sequential payload reader over a borrowed slice.
+struct Dec<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.rest.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// An `f64` that must be finite (timestamps, coordinates, distances —
+    /// the engine rejects or misbehaves on NaN/∞, so the codec refuses them
+    /// at the boundary).
+    fn finite(&mut self) -> Result<f64, WireError> {
+        let v = self.f64()?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(WireError::Malformed("non-finite float field"))
+        }
+    }
+
+    /// Like [`Dec::finite`] but additionally permits `+∞` (open-ended
+    /// expirations and availability windows are legal engine inputs).
+    fn finite_or_inf(&mut self) -> Result<f64, WireError> {
+        let v = self.f64()?;
+        if v.is_finite() || v == f64::INFINITY {
+            Ok(v)
+        } else {
+            Err(WireError::Malformed("NaN or -inf float field"))
+        }
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("non-UTF-8 string field"))
+    }
+
+    fn done(self) -> Result<(), WireError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after frame layout"))
+        }
+    }
+}
+
+impl Frame {
+    /// Serialises the frame payload (type byte included, length prefix not).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Frame::Hello {
+                version,
+                tenant,
+                token,
+            } => {
+                let mut e = Enc::new(T_HELLO);
+                e.u8(*version);
+                e.str(tenant);
+                e.str(token);
+                e.buf
+            }
+            Frame::TaskArrival { time, task } => {
+                let mut e = Enc::new(T_TASK_ARRIVAL);
+                e.f64(time.0);
+                e.u32(task.id.0);
+                e.f64(task.location.x);
+                e.f64(task.location.y);
+                e.f64(task.publication.0);
+                e.f64(task.expiration.0);
+                e.buf
+            }
+            Frame::WorkerOnline { time, worker } => {
+                let mut e = Enc::new(T_WORKER_ONLINE);
+                e.f64(time.0);
+                e.u32(worker.id.0);
+                e.f64(worker.location.x);
+                e.f64(worker.location.y);
+                e.f64(worker.reachable_distance);
+                e.f64(worker.window.on.0);
+                e.f64(worker.window.off.0);
+                e.u8(match worker.mode {
+                    WorkerMode::Online => 0,
+                    WorkerMode::Offline => 1,
+                });
+                e.buf
+            }
+            Frame::TaskExpiration { time, task } => {
+                let mut e = Enc::new(T_TASK_EXPIRATION);
+                e.f64(time.0);
+                e.u32(task.0);
+                e.buf
+            }
+            Frame::WorkerOffline { time, worker } => {
+                let mut e = Enc::new(T_WORKER_OFFLINE);
+                e.f64(time.0);
+                e.u32(worker.0);
+                e.buf
+            }
+            Frame::ReplanTick { time } => {
+                let mut e = Enc::new(T_REPLAN_TICK);
+                e.f64(time.0);
+                e.buf
+            }
+            Frame::AdvanceTo { time } => {
+                let mut e = Enc::new(T_ADVANCE_TO);
+                e.f64(time.0);
+                e.buf
+            }
+            Frame::Close => Enc::new(T_CLOSE).buf,
+            Frame::HelloAck { version } => {
+                let mut e = Enc::new(T_HELLO_ACK);
+                e.u8(*version);
+                e.buf
+            }
+            Frame::Dispatch {
+                at,
+                worker,
+                task,
+                eta,
+            } => {
+                let mut e = Enc::new(T_DISPATCH);
+                e.f64(at.0);
+                e.u32(worker.0);
+                e.u32(task.0);
+                e.f64(eta.0);
+                e.buf
+            }
+            Frame::TaskExpired { at, task } => {
+                let mut e = Enc::new(T_TASK_EXPIRED);
+                e.f64(at.0);
+                e.u32(task.0);
+                e.buf
+            }
+            Frame::OfflineNotice { at, worker } => {
+                let mut e = Enc::new(T_OFFLINE_NOTICE);
+                e.f64(at.0);
+                e.u32(worker.0);
+                e.buf
+            }
+            Frame::RetryAfter { seconds, reason } => {
+                let mut e = Enc::new(T_RETRY_AFTER);
+                e.f64(*seconds);
+                e.u8(reason.to_byte());
+                e.buf
+            }
+            Frame::Error { code, message } => {
+                let mut e = Enc::new(T_ERROR);
+                e.u8(code.to_byte());
+                e.str(message);
+                e.buf
+            }
+            Frame::Closed {
+                assigned,
+                decisions,
+                events,
+                planning_calls,
+            } => {
+                let mut e = Enc::new(T_CLOSED);
+                e.u64(*assigned);
+                e.u64(*decisions);
+                e.u64(*events);
+                e.u64(*planning_calls);
+                e.buf
+            }
+        }
+    }
+
+    /// Parses one frame payload (as produced by [`Frame::encode`]).
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let (&ty, rest) = payload
+            .split_first()
+            .ok_or(WireError::Malformed("empty payload"))?;
+        let mut d = Dec { rest };
+        let frame = match ty {
+            T_HELLO => Frame::Hello {
+                version: d.u8()?,
+                tenant: d.str()?,
+                token: d.str()?,
+            },
+            T_TASK_ARRIVAL => Frame::TaskArrival {
+                time: Timestamp(d.finite()?),
+                task: Task {
+                    id: TaskId(d.u32()?),
+                    location: Location::new(d.finite()?, d.finite()?),
+                    publication: Timestamp(d.finite()?),
+                    expiration: Timestamp(d.finite_or_inf()?),
+                },
+            },
+            T_WORKER_ONLINE => Frame::WorkerOnline {
+                time: Timestamp(d.finite()?),
+                // Struct literals, not `Worker::new`: the constructor
+                // debug-asserts window sanity, and hostile input must decode
+                // to a rejectable value, not a panic. Semantic validation
+                // (`is_well_formed`) happens at the server's admission step.
+                worker: Worker {
+                    id: WorkerId(d.u32()?),
+                    location: Location::new(d.finite()?, d.finite()?),
+                    reachable_distance: d.finite()?,
+                    window: AvailabilityWindow {
+                        on: Timestamp(d.finite()?),
+                        off: Timestamp(d.finite_or_inf()?),
+                    },
+                    mode: match d.u8()? {
+                        0 => WorkerMode::Online,
+                        1 => WorkerMode::Offline,
+                        _ => return Err(WireError::Malformed("unknown worker mode")),
+                    },
+                },
+            },
+            T_TASK_EXPIRATION => Frame::TaskExpiration {
+                time: Timestamp(d.finite()?),
+                task: TaskId(d.u32()?),
+            },
+            T_WORKER_OFFLINE => Frame::WorkerOffline {
+                time: Timestamp(d.finite()?),
+                worker: WorkerId(d.u32()?),
+            },
+            T_REPLAN_TICK => Frame::ReplanTick {
+                time: Timestamp(d.finite()?),
+            },
+            T_ADVANCE_TO => Frame::AdvanceTo {
+                time: Timestamp(d.finite()?),
+            },
+            T_CLOSE => Frame::Close,
+            T_HELLO_ACK => Frame::HelloAck { version: d.u8()? },
+            T_DISPATCH => Frame::Dispatch {
+                at: Timestamp(d.finite()?),
+                worker: WorkerId(d.u32()?),
+                task: TaskId(d.u32()?),
+                eta: Timestamp(d.finite_or_inf()?),
+            },
+            T_TASK_EXPIRED => Frame::TaskExpired {
+                at: Timestamp(d.finite()?),
+                task: TaskId(d.u32()?),
+            },
+            T_OFFLINE_NOTICE => Frame::OfflineNotice {
+                at: Timestamp(d.finite()?),
+                worker: WorkerId(d.u32()?),
+            },
+            T_RETRY_AFTER => Frame::RetryAfter {
+                seconds: d.finite()?,
+                reason: RetryReason::from_byte(d.u8()?)?,
+            },
+            T_ERROR => Frame::Error {
+                code: ErrorCode::from_byte(d.u8()?)?,
+                message: d.str()?,
+            },
+            T_CLOSED => Frame::Closed {
+                assigned: d.u64()?,
+                decisions: d.u64()?,
+                events: d.u64()?,
+                planning_calls: d.u64()?,
+            },
+            other => return Err(WireError::UnknownType(other)),
+        };
+        d.done()?;
+        Ok(frame)
+    }
+
+    /// Maps a client event frame onto the engine's `(time, event)`
+    /// vocabulary; `None` for every non-event frame.
+    #[must_use]
+    pub fn into_event(self) -> Option<(Timestamp, Event)> {
+        match self {
+            Frame::TaskArrival { time, task } => Some((time, Event::TaskArrival(task))),
+            Frame::WorkerOnline { time, worker } => Some((time, Event::WorkerOnline(worker))),
+            Frame::TaskExpiration { time, task } => Some((time, Event::TaskExpiration(task))),
+            Frame::WorkerOffline { time, worker } => Some((time, Event::WorkerOffline(worker))),
+            Frame::ReplanTick { time } => Some((time, Event::ReplanTick)),
+            _ => None,
+        }
+    }
+
+    /// The event frame carrying `event` at `time` — the inverse of
+    /// [`Frame::into_event`].
+    #[must_use]
+    pub fn from_event(time: Timestamp, event: &Event) -> Frame {
+        match event {
+            Event::TaskArrival(task) => Frame::TaskArrival { time, task: *task },
+            Event::WorkerOnline(worker) => Frame::WorkerOnline {
+                time,
+                worker: *worker,
+            },
+            Event::TaskExpiration(task) => Frame::TaskExpiration { time, task: *task },
+            Event::WorkerOffline(worker) => Frame::WorkerOffline {
+                time,
+                worker: *worker,
+            },
+            Event::ReplanTick => Frame::ReplanTick { time },
+        }
+    }
+
+    /// The decision frame announcing `decision` — what a routing sink
+    /// streams back to the owning connection.
+    #[must_use]
+    pub fn from_decision(decision: &Decision) -> Frame {
+        match *decision {
+            Decision::Dispatch {
+                at,
+                worker,
+                task,
+                eta,
+            } => Frame::Dispatch {
+                at,
+                worker,
+                task,
+                eta,
+            },
+            Decision::TaskExpired { at, task } => Frame::TaskExpired { at, task },
+            Decision::WorkerOffline { at, worker } => Frame::OfflineNotice { at, worker },
+        }
+    }
+
+    /// The decision a server decision frame announces; `None` for every
+    /// other frame.
+    #[must_use]
+    pub fn into_decision(self) -> Option<Decision> {
+        match self {
+            Frame::Dispatch {
+                at,
+                worker,
+                task,
+                eta,
+            } => Some(Decision::Dispatch {
+                at,
+                worker,
+                task,
+                eta,
+            }),
+            Frame::TaskExpired { at, task } => Some(Decision::TaskExpired { at, task }),
+            Frame::OfflineNotice { at, worker } => Some(Decision::WorkerOffline { at, worker }),
+            _ => None,
+        }
+    }
+}
+
+/// Writes one length-prefixed frame. The caller flushes (frames are written
+/// through `BufWriter`s; one flush per frame keeps decision latency low
+/// without syscall-per-field overhead).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    let payload = frame.encode();
+    debug_assert!(
+        (1..=MAX_FRAME_LEN).contains(&payload.len()),
+        "encoded frame violates MAX_FRAME_LEN"
+    );
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame, rejecting oversized/zero length
+/// prefixes *before* reading (or allocating) the payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if !(1..=MAX_FRAME_LEN).contains(&len) {
+        return Err(WireError::BadLength(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Frame::decode(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task::new(
+            TaskId(7),
+            Location::new(1.5, -2.25),
+            Timestamp(3.0),
+            Timestamp(9.5),
+        )
+    }
+
+    fn worker() -> Worker {
+        Worker::new(
+            WorkerId(11),
+            Location::new(0.5, 0.25),
+            4.0,
+            Timestamp(1.0),
+            Timestamp(100.0),
+        )
+    }
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                tenant: "acme".into(),
+                token: "s3cret".into(),
+            },
+            Frame::TaskArrival {
+                time: Timestamp(3.0),
+                task: task(),
+            },
+            Frame::WorkerOnline {
+                time: Timestamp(1.0),
+                worker: worker(),
+            },
+            Frame::TaskExpiration {
+                time: Timestamp(9.5),
+                task: TaskId(7),
+            },
+            Frame::WorkerOffline {
+                time: Timestamp(100.0),
+                worker: WorkerId(11),
+            },
+            Frame::ReplanTick {
+                time: Timestamp(4.0),
+            },
+            Frame::AdvanceTo {
+                time: Timestamp(50.0),
+            },
+            Frame::Close,
+            Frame::HelloAck {
+                version: PROTOCOL_VERSION,
+            },
+            Frame::Dispatch {
+                at: Timestamp(3.0),
+                worker: WorkerId(11),
+                task: TaskId(7),
+                eta: Timestamp(4.25),
+            },
+            Frame::TaskExpired {
+                at: Timestamp(9.5),
+                task: TaskId(7),
+            },
+            Frame::OfflineNotice {
+                at: Timestamp(100.0),
+                worker: WorkerId(11),
+            },
+            Frame::RetryAfter {
+                seconds: 0.05,
+                reason: RetryReason::TenantQuota,
+            },
+            Frame::Error {
+                code: ErrorCode::TenantBusy,
+                message: "tenant acme already connected".into(),
+            },
+            Frame::Closed {
+                assigned: 42,
+                decisions: 99,
+                events: 1000,
+                planning_calls: 17,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips_bitwise() {
+        for frame in all_frames() {
+            let payload = frame.encode();
+            let back = Frame::decode(&payload).expect("decode own encoding");
+            assert_eq!(back, frame);
+            assert_eq!(back.encode(), payload, "re-encode is byte-identical");
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_through_a_byte_pipe() {
+        let mut pipe = Vec::new();
+        for frame in all_frames() {
+            write_frame(&mut pipe, &frame).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(pipe);
+        for frame in all_frames() {
+            assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+        }
+        assert!(
+            read_frame(&mut cursor).unwrap_err().is_clean_eof(),
+            "drained pipe ends cleanly between frames"
+        );
+    }
+
+    #[test]
+    fn oversized_and_zero_length_prefixes_are_rejected_before_allocation() {
+        let huge = (u32::MAX).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(huge)),
+            Err(WireError::BadLength(_))
+        ));
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(zero)),
+            Err(WireError::BadLength(0))
+        ));
+    }
+
+    #[test]
+    fn junk_payloads_decode_to_typed_errors_not_panics() {
+        assert!(matches!(Frame::decode(&[]), Err(WireError::Malformed(_))));
+        assert!(matches!(
+            Frame::decode(&[0x42]),
+            Err(WireError::UnknownType(0x42))
+        ));
+        // A truncated task arrival.
+        let mut short = Frame::TaskArrival {
+            time: Timestamp(3.0),
+            task: task(),
+        }
+        .encode();
+        short.truncate(short.len() - 1);
+        assert!(matches!(Frame::decode(&short), Err(WireError::Truncated)));
+        // Trailing garbage after a complete layout.
+        let mut long = Frame::Close.encode();
+        long.push(0);
+        assert!(matches!(Frame::decode(&long), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn non_finite_times_are_refused_at_the_codec() {
+        let mut payload = Frame::ReplanTick {
+            time: Timestamp(1.0),
+        }
+        .encode();
+        payload[1..9].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn open_ended_expirations_survive_the_wire() {
+        let frame = Frame::TaskArrival {
+            time: Timestamp(0.0),
+            task: Task::new(
+                TaskId(1),
+                Location::new(0.0, 0.0),
+                Timestamp(0.0),
+                Timestamp(f64::INFINITY),
+            ),
+        };
+        assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn event_and_decision_mappings_invert() {
+        let arrivals = [
+            Event::TaskArrival(task()),
+            Event::WorkerOnline(worker()),
+            Event::TaskExpiration(TaskId(7)),
+            Event::WorkerOffline(WorkerId(11)),
+            Event::ReplanTick,
+        ];
+        for event in arrivals {
+            let frame = Frame::from_event(Timestamp(2.0), &event);
+            let (t, back) = frame.into_event().expect("event frames map to events");
+            assert_eq!(t, Timestamp(2.0));
+            assert_eq!(back.kind(), event.kind());
+        }
+        let decision = Decision::Dispatch {
+            at: Timestamp(1.0),
+            worker: WorkerId(3),
+            task: TaskId(4),
+            eta: Timestamp(2.0),
+        };
+        assert_eq!(
+            Frame::from_decision(&decision).into_decision(),
+            Some(decision)
+        );
+        assert_eq!(Frame::Close.into_event(), None);
+        assert_eq!(
+            Frame::HelloAck {
+                version: PROTOCOL_VERSION
+            }
+            .into_decision(),
+            None
+        );
+    }
+}

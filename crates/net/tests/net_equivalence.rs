@@ -1,0 +1,157 @@
+//! The multi-tenant equivalence pin: a workload streamed over a TCP
+//! loopback connection produces decisions *bitwise-identical* to the same
+//! workload driven through `Session::ingest` directly — for Greedy and
+//! DATA-WA, on two scenario generators, and with several tenants connected
+//! concurrently. The transport is a front-end, not a fork of the engine.
+
+use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind, StaticForecast, TaskValueFunction};
+use datawa_net::{NetClient, NetConfig, NetServer};
+use datawa_service::{IngestSource, SourcePoll, WorkloadSource};
+use datawa_stream::{
+    CollectingSink, Decision, EngineConfig, HotspotDrift, ScenarioGenerator, ScenarioSpec, Session,
+    UniformBaseline, Workload,
+};
+
+fn spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::small()
+        .with_tasks(120)
+        .with_workers(10)
+        .with_seed(seed)
+}
+
+fn workloads() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("uniform-baseline", UniformBaseline::new(spec(7)).generate()),
+        ("hotspot-drift", HotspotDrift::new(spec(11)).generate()),
+    ]
+}
+
+/// The reference decision stream: the workload ingested into a session
+/// directly (engine arrival order), then closed.
+fn direct_decisions(policy: PolicyKind, workload: &Workload) -> Vec<Decision> {
+    let mut runner = AdaptiveRunner::new(AssignConfig::default(), policy);
+    if policy == PolicyKind::DataWa {
+        // The same (hidden, seed) pair as NetConfig's default, so the direct
+        // run and the server's per-tenant pump share identical TVF weights.
+        runner = runner.with_tvf(TaskValueFunction::new(8, 0));
+    }
+    let mut forecast = StaticForecast::default();
+    let mut session = Session::open(&runner, &mut forecast, EngineConfig::default());
+    let mut source = WorkloadSource::new(workload);
+    while let SourcePoll::Ready(time, event) = source.poll() {
+        session.ingest(time, event).expect("replay order is valid");
+    }
+    let mut sink = CollectingSink::new();
+    let _ = session.close(&mut sink);
+    sink.into_decisions()
+}
+
+/// The same workload pushed through the wire by a loopback client.
+fn loopback_decisions(client: &mut NetClient, workload: &Workload) {
+    let mut source = WorkloadSource::new(workload);
+    while let SourcePoll::Ready(time, event) = source.poll() {
+        client.send_event(time, &event).expect("send event frame");
+    }
+}
+
+#[test]
+fn tcp_loopback_matches_direct_session_per_policy_and_generator() {
+    for policy in [PolicyKind::Greedy, PolicyKind::DataWa] {
+        let mut server = NetServer::bind(NetConfig {
+            policy,
+            ..NetConfig::default()
+        })
+        .expect("bind loopback");
+        for (name, workload) in workloads() {
+            let expected = direct_decisions(policy, &workload);
+            let mut client = NetClient::connect(server.addr(), name, "").expect("handshake");
+            loopback_decisions(&mut client, &workload);
+            let outcome = client.close();
+            assert!(
+                outcome.errors.is_empty(),
+                "{policy:?}/{name}: {:?}",
+                outcome.errors
+            );
+            assert!(
+                outcome.retry_after.is_empty(),
+                "{policy:?}/{name} was throttled"
+            );
+            assert_eq!(
+                outcome.decisions, expected,
+                "{policy:?}/{name}: wire decisions diverged from direct ingest"
+            );
+            let closed = outcome.closed.expect("orderly close");
+            assert_eq!(closed.decisions as usize, expected.len());
+            assert!(closed.assigned > 0, "{policy:?}/{name} assigned nothing");
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_tenants_each_match_their_own_direct_run() {
+    let server = NetServer::bind(NetConfig {
+        policy: PolicyKind::DataWa,
+        ..NetConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    let tenants: Vec<(String, Workload)> = (0..4)
+        .map(|i| {
+            (
+                format!("tenant-{i}"),
+                UniformBaseline::new(spec(100 + i)).generate(),
+            )
+        })
+        .collect();
+
+    let handles: Vec<_> = tenants
+        .iter()
+        .cloned()
+        .map(|(name, workload)| {
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr, &name, "").expect("handshake");
+                loopback_decisions(&mut client, &workload);
+                (name, workload, client.close())
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (name, workload, outcome) = handle.join().expect("tenant thread");
+        let expected = direct_decisions(PolicyKind::DataWa, &workload);
+        assert_eq!(
+            outcome.decisions, expected,
+            "{name}: concurrent tenants must not perturb each other's sessions"
+        );
+    }
+
+    let snapshot = server.metrics().snapshot();
+    for i in 0..4 {
+        let decisions = snapshot
+            .counters
+            .get(&format!("net.tenant.tenant-{i}.decisions"))
+            .copied()
+            .unwrap_or(0);
+        assert!(decisions > 0, "tenant-{i} streamed no decisions");
+    }
+}
+
+#[test]
+fn duplicate_tenant_names_are_refused_without_disturbing_the_owner() {
+    let server = NetServer::bind(NetConfig::default()).expect("bind loopback");
+    let workload = UniformBaseline::new(spec(3)).generate();
+    let expected = direct_decisions(PolicyKind::Greedy, &workload);
+
+    let mut owner = NetClient::connect(server.addr(), "acme", "").expect("handshake");
+    match NetClient::connect(server.addr(), "acme", "") {
+        Err(datawa_net::ClientError::Refused { code, .. }) => {
+            assert_eq!(code, datawa_net::ErrorCode::TenantBusy);
+        }
+        other => panic!("duplicate tenant accepted: {other:?}"),
+    }
+    loopback_decisions(&mut owner, &workload);
+    let outcome = owner.close();
+    assert_eq!(outcome.decisions, expected, "owner session was disturbed");
+}

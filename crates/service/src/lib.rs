@@ -12,6 +12,10 @@
 //!   so quiet periods (with their expirations and time-driven re-plans)
 //!   actually elapse between bursts — and opts into *real* wall-clock
 //!   pacing with [`LiveSource::with_wall_clock`] for true real-time runs.
+//!   [`NetSource`] is the push-fed variant: a connection handler feeds
+//!   events across threads through a [`NetSourceHandle`], which is how the
+//!   `datawa-net` TCP front-end (wire format in the workspace-root
+//!   `PROTOCOL.md`) runs one `DispatchService` per tenant connection.
 //! * **[`DispatchService`]** — the pump: source → session → sink, with
 //!   bounded-queue backpressure (admission pauses and the session drains
 //!   when planning lags a burst by more than
@@ -82,4 +86,6 @@ pub mod dispatch;
 pub mod source;
 
 pub use dispatch::{DispatchService, PumpStatus, ServiceConfig, ServiceStats};
-pub use source::{IngestSource, LiveSource, SourcePoll, WorkloadSource};
+pub use source::{
+    IngestSource, LiveSource, NetSource, NetSourceHandle, SourceClosed, SourcePoll, WorkloadSource,
+};

@@ -6,9 +6,18 @@
 //! [`LiveSource`] paces the same arrivals against a simulated wall clock, so
 //! the session experiences quiet periods (in which expirations and time-driven
 //! re-plans fire) between bursts — the shape of real request traffic.
+//! [`NetSource`] is the push half: a connection handler feeds events through
+//! a [`NetSourceHandle`] from another thread, which is how the `datawa-net`
+//! transport front-end bridges TCP connections into a [`DispatchService`]
+//! (see `PROTOCOL.md` at the workspace root for the wire format).
+//!
+//! [`DispatchService`]: crate::DispatchService
 
 use datawa_core::{Duration, Timestamp};
 use datawa_stream::{Event, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
 /// One poll of an ingest source.
 #[derive(Debug, Clone, PartialEq)]
@@ -226,6 +235,130 @@ impl IngestSource for LiveSource {
     }
 }
 
+/// What a [`NetSourceHandle`] feeds into the channel: the same vocabulary a
+/// pull source's [`SourcePoll`] reports, minus `Exhausted` (that is signalled
+/// by dropping the sender, so a crashed producer thread and an orderly
+/// [`NetSourceHandle::close`] both end the stream).
+#[derive(Debug)]
+enum NetItem {
+    Event(Timestamp, Event),
+    Advance(Timestamp),
+}
+
+/// The push half of a [`NetSource`]: lives on the connection (producer) side
+/// and feeds events across threads into the service's pump.
+///
+/// Cloning is cheap; the source is exhausted once *every* clone has been
+/// dropped or [`closed`](NetSourceHandle::close).
+/// [`pending`](NetSourceHandle::pending) exposes the not-yet-polled backlog so callers
+/// can apply admission control *before* pushing — the channel itself is
+/// unbounded and never blocks the producer.
+#[derive(Debug, Clone)]
+pub struct NetSourceHandle {
+    tx: Sender<NetItem>,
+    depth: Arc<AtomicUsize>,
+}
+
+/// The handle's event was not delivered: the consuming service has shut
+/// down (its [`NetSource`] was dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceClosed;
+
+impl NetSourceHandle {
+    /// Pushes one event; the paired [`NetSource`] will report it as
+    /// [`SourcePoll::Ready`]. Callers must preserve the non-decreasing
+    /// timestamp contract of [`IngestSource`].
+    pub fn push_event(&self, time: Timestamp, event: Event) -> Result<(), SourceClosed> {
+        // Count before sending so a poll racing the send can never observe
+        // the backlog under-reported. (SeqCst: this counter is cross-thread
+        // admission-control state, not an audited obs-crate hot path.)
+        self.depth.fetch_add(1, Ordering::SeqCst);
+        self.tx.send(NetItem::Event(time, event)).map_err(|_| {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            SourceClosed
+        })
+    }
+
+    /// Requests that the service advance its session to `time` (reported as
+    /// [`SourcePoll::Wait`]), letting expirations and time-driven re-plans
+    /// fire through a quiet period.
+    pub fn push_advance(&self, time: Timestamp) -> Result<(), SourceClosed> {
+        self.tx
+            .send(NetItem::Advance(time))
+            .map_err(|_| SourceClosed)
+    }
+
+    /// Events pushed but not yet polled by the service — the admission
+    /// backlog this producer is responsible for.
+    pub fn pending(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// Ends the stream for this clone. Once all clones are closed or
+    /// dropped, the paired [`NetSource`] reports [`SourcePoll::Exhausted`].
+    pub fn close(self) {
+        drop(self);
+    }
+}
+
+/// A push-fed [`IngestSource`]: the pull half of a cross-thread channel
+/// whose push half is a [`NetSourceHandle`].
+///
+/// `poll` *blocks* until the producer pushes something or hangs up, so a
+/// service pumping a `NetSource` is a dedicated thread that sleeps through
+/// quiet periods instead of spinning. This is the bridge the `datawa-net`
+/// listener uses to run one [`DispatchService`](crate::DispatchService) per
+/// tenant connection.
+#[derive(Debug)]
+pub struct NetSource {
+    rx: Receiver<NetItem>,
+    depth: Arc<AtomicUsize>,
+    exhausted: bool,
+}
+
+impl NetSource {
+    /// Builds a connected handle/source pair.
+    #[must_use]
+    pub fn channel() -> (NetSourceHandle, NetSource) {
+        let (tx, rx) = channel();
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            NetSourceHandle {
+                tx,
+                depth: Arc::clone(&depth),
+            },
+            NetSource {
+                rx,
+                depth,
+                exhausted: false,
+            },
+        )
+    }
+}
+
+impl IngestSource for NetSource {
+    fn poll(&mut self) -> SourcePoll {
+        if self.exhausted {
+            return SourcePoll::Exhausted;
+        }
+        match self.rx.recv() {
+            Ok(NetItem::Event(time, event)) => {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                SourcePoll::Ready(time, event)
+            }
+            Ok(NetItem::Advance(time)) => SourcePoll::Wait(time),
+            Err(_) => {
+                self.exhausted = true;
+                SourcePoll::Exhausted
+            }
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +483,59 @@ mod tests {
     #[should_panic(expected = "wall-clock rate")]
     fn non_positive_wall_rate_is_rejected() {
         let _ = LiveSource::new(&workload(), 1.0).with_wall_clock(0.0);
+    }
+
+    #[test]
+    fn net_source_delivers_pushes_in_order_and_exhausts_on_close() {
+        let (handle, mut source) = NetSource::channel();
+        let w = workload();
+        handle
+            .push_event(Timestamp(0.0), Event::WorkerOnline(w.workers[1]))
+            .unwrap();
+        handle
+            .push_event(Timestamp(2.0), Event::TaskArrival(w.tasks[1]))
+            .unwrap();
+        handle.push_advance(Timestamp(3.0)).unwrap();
+        assert_eq!(handle.pending(), 2, "advances are not backlog");
+        assert_eq!(source.remaining(), 2);
+        assert!(matches!(source.poll(), SourcePoll::Ready(t, _) if t.0 == 0.0));
+        assert!(matches!(source.poll(), SourcePoll::Ready(t, _) if t.0 == 2.0));
+        assert_eq!(source.poll(), SourcePoll::Wait(Timestamp(3.0)));
+        assert_eq!(source.remaining(), 0);
+        handle.close();
+        assert_eq!(source.poll(), SourcePoll::Exhausted);
+        assert_eq!(source.poll(), SourcePoll::Exhausted, "exhaustion is sticky");
+    }
+
+    #[test]
+    fn net_source_push_fails_once_the_service_side_is_gone() {
+        let (handle, source) = NetSource::channel();
+        drop(source);
+        let w = workload();
+        assert_eq!(
+            handle.push_event(Timestamp(0.0), Event::TaskArrival(w.tasks[0])),
+            Err(SourceClosed)
+        );
+        assert_eq!(handle.push_advance(Timestamp(1.0)), Err(SourceClosed));
+        assert_eq!(handle.pending(), 0, "undelivered events are not counted");
+    }
+
+    #[test]
+    fn net_source_works_across_threads() {
+        let (handle, mut source) = NetSource::channel();
+        let w = workload();
+        let producer = std::thread::spawn(move || {
+            for (i, task) in w.tasks.iter().enumerate() {
+                handle
+                    .push_event(Timestamp(i as f64), Event::TaskArrival(*task))
+                    .unwrap();
+            }
+        });
+        let mut seen = 0;
+        while let SourcePoll::Ready(..) = source.poll() {
+            seen += 1;
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, 2);
     }
 }

@@ -46,6 +46,7 @@ pub use datawa_assign as assign;
 pub use datawa_core as core;
 pub use datawa_geo as geo;
 pub use datawa_graph as graph;
+pub use datawa_net as net;
 pub use datawa_obs as obs;
 pub use datawa_predict as predict;
 pub use datawa_service as service;
