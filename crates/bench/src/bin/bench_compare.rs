@@ -17,6 +17,12 @@
 //! `new p50 > old p50 * 1.2 + 0.05 ms`; the additive floor keeps sub-0.1 ms
 //! runs from tripping the gate on scheduler noise.
 //!
+//! Service-bench reports additionally carry an `ingest` histogram per run;
+//! when **both** sides of a matched run have one, its `p95_ms` is gated by
+//! the same 20%-plus-floor rule. Runs without it (soak reports, older
+//! service reports) skip the ingest check silently — the gate never
+//! invents a baseline.
+//!
 //! Parity mode (`--parity`) is the `DATAWA_INCREMENTAL=off` check: the two
 //! reports must agree *exactly* on `assigned_tasks` and `planning_calls` for
 //! every matched run — incremental replanning is required to be
@@ -49,6 +55,9 @@ struct RunKey {
 struct Run {
     key: RunKey,
     p50_ms: f64,
+    /// `ingest.p95_ms` where the report has it (service-bench rows);
+    /// `None` for soak reports, which have no ingest path.
+    ingest_p95_ms: Option<f64>,
     assigned_tasks: u64,
     planning_calls: u64,
 }
@@ -94,6 +103,10 @@ fn load_runs(path: &str) -> Vec<Run> {
                     .and_then(|r| r.get("p50_ms"))
                     .and_then(JsonValue::as_f64)
                     .unwrap_or_else(|| die(&format!("{path}: run #{i} missing `replan.p50_ms`"))),
+                ingest_p95_ms: run
+                    .get("ingest")
+                    .and_then(|r| r.get("p95_ms"))
+                    .and_then(JsonValue::as_f64),
                 assigned_tasks: field("assigned_tasks"),
                 planning_calls: field("planning_calls"),
             }
@@ -228,6 +241,18 @@ fn main() {
                 limit,
             );
             failures += usize::from(!ok);
+            if let (Some(old_p95), Some(new_p95)) = (old.ingest_p95_ms, new.ingest_p95_ms) {
+                let limit = old_p95 * MAX_RELATIVE_GROWTH + ABSOLUTE_FLOOR_MS;
+                let ok = new_p95 <= limit;
+                println!(
+                    "{} {key}: ingest p95 {:.3} ms -> {:.3} ms (limit {:.3} ms)",
+                    if ok { "ok  " } else { "FAIL" },
+                    old_p95,
+                    new_p95,
+                    limit,
+                );
+                failures += usize::from(!ok);
+            }
         }
     }
 

@@ -4,8 +4,17 @@
 //! decisions/sec into a `BENCH_<tag>.json` report.
 //!
 //! ```text
-//! service_bench [--clients 8] [--tasks N] [--workers N] [--tag 9] [--out DIR] [--policy greedy]
+//! service_bench [--clients 8] [--tasks N] [--workers N] [--tag 9] [--out DIR] [--policy greedy] [--chaos SEED]
 //! ```
+//!
+//! `--chaos SEED` appends one additional run driven through a
+//! [`ChaosProxy`](datawa_net::ChaosProxy) with a seeded mid-stream
+//! connection reset plus a pump kill, delivered by the retrying
+//! [`ResilientClient`](datawa_net::ResilientClient) — it measures what
+//! fault recovery costs end-to-end (retries re-ingest, so its ingest
+//! histogram counts more frames than the clean rows). The row's scenario
+//! name carries a `-chaos` suffix so it only ever gates against other
+//! chaos rows.
 //!
 //! One run per benched scenario, every run at the full client count; the
 //! `threads` field of a run row is the *client* count (the planner pool uses
@@ -41,6 +50,7 @@ struct Args {
     tag: String,
     out_dir: String,
     policy: PolicyKind,
+    chaos: Option<u64>,
 }
 
 impl Args {
@@ -52,6 +62,7 @@ impl Args {
             tag: "service".to_string(),
             out_dir: ".".to_string(),
             policy: PolicyKind::Greedy,
+            chaos: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -65,6 +76,7 @@ impl Args {
                 "--workers" => args.workers = value().parse().expect("--workers takes a number"),
                 "--tag" => args.tag = value(),
                 "--out" => args.out_dir = value(),
+                "--chaos" => args.chaos = Some(value().parse().expect("--chaos takes a seed")),
                 "--policy" => {
                     let name = value().to_ascii_lowercase();
                     args.policy = PolicyKind::all()
@@ -246,6 +258,153 @@ fn bench_scenario(args: &Args, scenario_index: usize) -> (String, JsonValue) {
     (scenario, row)
 }
 
+/// One faulted run: a single resilient tenant streamed through a
+/// [`ChaosProxy`](datawa_net::ChaosProxy) that resets the first connection
+/// mid-stream, against a server that kills the tenant's pump once —
+/// measuring the end-to-end cost of journal replay plus reconnect/resume.
+/// The decision stream itself is still required to arrive intact (count
+/// check here; the bitwise pin lives in `chaos_smoke` and
+/// `tests/chaos_recovery.rs`).
+fn bench_chaos_scenario(args: &Args, seed: u64) -> (String, JsonValue) {
+    use datawa_net::{ChaosPlan, ChaosProxy, Fault, ResilientClient, RetryOutcome, RetryPolicy};
+
+    let scenario_name = builtin_scenarios(ScenarioSpec::small())[0].name();
+    let scenario = format!("service-{scenario_name}-chaos");
+    let spec = ScenarioSpec::small()
+        .with_tasks(args.tasks)
+        .with_workers(args.workers)
+        .with_seed(9_000);
+    let workload = builtin_scenarios(spec).swap_remove(0).generate();
+    let mut total_events: u64 = 0;
+    let mut counter_source = WorkloadSource::new(&workload);
+    while let SourcePoll::Ready(..) = counter_source.poll() {
+        total_events += 1;
+    }
+
+    // Retries re-send the un-acked tail, so the pending quota must absorb
+    // several re-ingests of the same workload.
+    let per_client_events = 2 * args.tasks + 2 * args.workers;
+    let tenant = "bench-chaos".to_string();
+    let cfg = NetConfig {
+        policy: args.policy,
+        tenant_pending_quota: 16 * per_client_events,
+        global_pending_cap: 32 * per_client_events,
+        max_connections: 16,
+        pump_kills: vec![(tenant.clone(), total_events / 2)],
+        ..NetConfig::default()
+    };
+    let mut server = NetServer::bind(cfg).expect("bind 127.0.0.1:0");
+    let plan = ChaosPlan {
+        conns: vec![Some(Fault::Reset {
+            after_frames: (total_events / 3).max(2),
+        })],
+    };
+    let mut proxy = ChaosProxy::spawn(server.addr(), plan).expect("bind chaos proxy");
+
+    let mut client = ResilientClient::new(
+        proxy.addr(),
+        &tenant,
+        "",
+        RetryPolicy {
+            jitter_seed: seed,
+            ..RetryPolicy::default()
+        },
+    );
+    let mut source = WorkloadSource::new(&workload);
+    #[allow(clippy::disallowed_methods)] // throughput measurement is this binary's purpose
+    let started = Instant::now();
+    while let SourcePoll::Ready(time, event) = source.poll() {
+        client.send_event(time, &event);
+    }
+    let (outcome, attempts) = match client.deliver() {
+        RetryOutcome::Completed { outcome, attempts } => (outcome, attempts),
+        RetryOutcome::GaveUp {
+            attempts,
+            last_error,
+            // datawa-lint: allow(panic-in-service-path) -- bench harness assertion, not serving code
+        } => panic!("chaos tenant gave up after {attempts} attempts: {last_error}"),
+    };
+    let wall_seconds = started.elapsed().as_secs_f64();
+    assert!(attempts > 1, "the fault plan injected nothing");
+    assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+    let closed = outcome.closed.expect("orderly Closed frame");
+    assert_eq!(
+        closed.decisions as usize,
+        outcome.decisions.len(),
+        "client-visible decision stream diverged from the server count"
+    );
+
+    proxy.shutdown();
+    server.shutdown();
+    let snapshot = server.metrics().snapshot();
+    let recoveries = counter(&snapshot, "net.pump_recoveries");
+    assert!(recoveries >= 1, "the seeded pump kill never fired");
+    assert!(closed.assigned > 0, "{scenario}: no tasks assigned");
+
+    eprintln!(
+        "service_bench: {scenario} seed={seed} attempts={attempts} recoveries={recoveries} \
+         {:.0} decisions/sec",
+        closed.decisions as f64 / wall_seconds.max(1e-9)
+    );
+    let row = JsonValue::object(vec![
+        ("scenario".into(), JsonValue::string(&scenario)),
+        ("threads".into(), JsonValue::from_u64(1)),
+        ("clients".into(), JsonValue::from_u64(1)),
+        ("events".into(), JsonValue::from_u64(closed.events)),
+        (
+            "assigned_tasks".into(),
+            JsonValue::from_u64(closed.assigned),
+        ),
+        (
+            "planning_calls".into(),
+            JsonValue::from_u64(closed.planning_calls),
+        ),
+        ("decisions".into(), JsonValue::from_u64(closed.decisions)),
+        ("wall_seconds".into(), JsonValue::from_f64(wall_seconds)),
+        (
+            "decisions_per_sec".into(),
+            JsonValue::from_f64(closed.decisions as f64 / wall_seconds.max(1e-9)),
+        ),
+        (
+            "events_per_sec".into(),
+            JsonValue::from_f64(closed.events as f64 / wall_seconds.max(1e-9)),
+        ),
+        (
+            "ingest".into(),
+            histogram_ms(&snapshot, "net.ingest_seconds"),
+        ),
+        (
+            "replan".into(),
+            histogram_ms(&snapshot, "assign.replan_seconds"),
+        ),
+        (
+            "recovery".into(),
+            histogram_ms(&snapshot, "net.recovery_seconds"),
+        ),
+        (
+            "chaos".into(),
+            JsonValue::object(vec![
+                ("seed".into(), JsonValue::from_u64(seed)),
+                ("attempts".into(), JsonValue::from_u64(attempts as u64)),
+                ("recoveries".into(), JsonValue::from_u64(recoveries)),
+            ]),
+        ),
+        (
+            "frames_in".into(),
+            JsonValue::from_u64(counter(&snapshot, "net.frames_in")),
+        ),
+        (
+            "frames_out".into(),
+            JsonValue::from_u64(counter(&snapshot, "net.frames_out")),
+        ),
+        (
+            "rejected_admission".into(),
+            JsonValue::from_u64(counter(&snapshot, "net.rejected_admission")),
+        ),
+    ]);
+    (scenario, row)
+}
+
 fn main() {
     let args = Args::parse();
 
@@ -253,6 +412,11 @@ fn main() {
     let mut runs = Vec::new();
     for scenario_index in SCENARIOS {
         let (scenario, row) = bench_scenario(&args, scenario_index);
+        scenarios.push(JsonValue::string(&scenario));
+        runs.push(row);
+    }
+    if let Some(seed) = args.chaos {
+        let (scenario, row) = bench_chaos_scenario(&args, seed);
         scenarios.push(JsonValue::string(&scenario));
         runs.push(row);
     }
@@ -289,7 +453,8 @@ fn main() {
         std::process::exit(2);
     });
     let runs = parsed.get("runs").expect("report has a runs key").items();
-    assert_eq!(runs.len(), SCENARIOS.len(), "one run per benched scenario");
+    let expected_runs = SCENARIOS.len() + usize::from(args.chaos.is_some());
+    assert_eq!(runs.len(), expected_runs, "one run per benched scenario");
     for run in runs {
         let scenario = run
             .get("scenario")

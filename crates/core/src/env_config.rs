@@ -45,6 +45,9 @@ pub const GRID: &str = "DATAWA_GRID";
 pub const SERVICE_TASKS: &str = "DATAWA_SERVICE_TASKS";
 /// `service_live` demo workload sizing (`DATAWA_SERVICE_WORKERS`).
 pub const SERVICE_WORKERS: &str = "DATAWA_SERVICE_WORKERS";
+/// Seed replayed by the `chaos_smoke` fault-injection harness
+/// (`DATAWA_CHAOS_SEED`).
+pub const CHAOS_SEED: &str = "DATAWA_CHAOS_SEED";
 
 /// The one sanctioned environment read. Returns `None` when unset or not
 /// valid UTF-8. Private: callers go through the typed accessors so that
@@ -134,6 +137,12 @@ pub fn service_tasks() -> Option<usize> {
 /// `DATAWA_SERVICE_WORKERS` for the `service_live` demo, or `None`.
 pub fn service_workers() -> Option<usize> {
     raw(SERVICE_WORKERS).and_then(|v| v.trim().parse().ok())
+}
+
+/// `DATAWA_CHAOS_SEED` for the `chaos_smoke` fault-injection harness, or
+/// `None` (the harness falls back to its documented default seed).
+pub fn chaos_seed() -> Option<u64> {
+    raw(CHAOS_SEED).and_then(|v| v.trim().parse().ok())
 }
 
 #[cfg(test)]

@@ -13,6 +13,12 @@ pub const DETERMINISTIC_CRATES: &[&str] = &["assign", "stream", "core", "geo", "
 /// here takes down a serving session, so unwraps must be justified.
 pub const HOT_PATH_CRATES: &[&str] = &["assign", "stream"];
 
+/// Crates whose non-test code serves live connections: an explicit panic
+/// macro there rides the `catch_unwind` recovery path (or kills a
+/// connection thread outright) instead of answering the client with a
+/// typed error.
+pub const SERVICE_PATH_CRATES: &[&str] = &["service", "net"];
+
 /// Crates allowed to read wall clocks: observability (span timers), the
 /// bench harness, the service layer's live pacing, and the transport
 /// front-end (ingest-latency spans, socket timeouts).
@@ -68,6 +74,10 @@ pub const RULES: &[(&str, &str)] = &[
         "blocking-sleep",
         "thread::sleep in a deterministic crate (observe-only)",
     ),
+    (
+        "panic-in-service-path",
+        "panic!/unreachable!/todo! in non-test service/net code (observe-only)",
+    ),
 ];
 
 /// Whether `name` is a known rule.
@@ -80,7 +90,7 @@ pub fn is_known_rule(name: &str) -> bool {
 /// tree is clean under them; see `LINTS.md` for the catalogue.
 pub fn severity_of(rule: &str) -> Severity {
     match rule {
-        "blocking-sleep" => Severity::Warning,
+        "blocking-sleep" | "panic-in-service-path" => Severity::Warning,
         _ => Severity::Error,
     }
 }
@@ -134,6 +144,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     float_ordering(file, &mut findings);
     unwrap_in_hot_path(file, &mut findings);
     blocking_sleep(file, &mut findings);
+    panic_in_service_path(file, &mut findings);
     findings
 }
 
@@ -544,6 +555,34 @@ fn blocking_sleep(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+fn panic_in_service_path(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !in_crates(file, SERVICE_PATH_CRATES) || file.kind != FileKind::Src {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        for pattern in ["panic!(", "unreachable!(", "todo!("] {
+            if line.code.contains(pattern) {
+                findings.push(finding(
+                    file,
+                    i,
+                    "panic-in-service-path",
+                    format!(
+                        "`{}` in serving code unwinds through the pump supervisor (or kills a \
+                         connection thread) instead of answering the client with a typed error; \
+                         return a `Frame::Error`/`ClientError`, or suppress with the reason the \
+                         panic is intentional",
+                        pattern.trim_end_matches('(')
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +721,33 @@ mod tests {
             "fn f() { std::thread::sleep(core::time::Duration::from_millis(1)); }\n",
         );
         assert!(check_file(&paced).is_empty());
+    }
+
+    #[test]
+    fn panic_in_service_path_is_scoped_and_observe_only() {
+        let text = "fn f(x: u8) { match x { 0 => {} _ => unreachable!() } }\n";
+        let in_net = parse("crates/net/src/x.rs", Some("net"), text);
+        let findings = check_file(&in_net);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "panic-in-service-path");
+        assert_eq!(findings[0].severity, Severity::Warning);
+        // `.expect(...)` is the unwrap rule's business, not this one's.
+        let expects = parse(
+            "crates/service/src/x.rs",
+            Some("service"),
+            "fn f(m: &std::sync::Mutex<u8>) -> u8 { *m.lock().expect(\"poisoned\") }\n",
+        );
+        assert!(check_file(&expects).is_empty());
+        // Engine crates already have unwrap-in-hot-path; the panic rule
+        // stays out of their way.
+        let in_stream = parse(
+            "crates/stream/src/x.rs",
+            Some("stream"),
+            "fn f() { panic!(\"boom\") }\n",
+        );
+        assert!(!check_file(&in_stream)
+            .iter()
+            .any(|f| f.rule == "panic-in-service-path"));
     }
 
     #[test]

@@ -16,11 +16,17 @@ fn fixtures_dir() -> PathBuf {
 }
 
 fn scan(file: &str) -> Report {
+    scan_as(file, "assign")
+}
+
+/// Like [`scan`] but masquerading as a different crate — rules scoped to
+/// the service path need a `service`/`net` context.
+fn scan_as(file: &str, context: &str) -> Report {
     let opts = Options {
         root: fixtures_dir(),
         workspace: false,
         paths: vec![PathBuf::from(file)],
-        context_crate: Some("assign".to_string()),
+        context_crate: Some(context.to_string()),
     };
     run(&opts).expect("fixture scan")
 }
@@ -129,6 +135,35 @@ fn blocking_sleep_warns_without_failing_the_run() {
     assert_eq!(report.errors(), 0);
     assert_eq!(report.warnings(), 1);
     assert!(!report.failed(), "warnings must not fail the run");
+}
+
+#[test]
+fn panic_in_service_path_warns_without_failing_the_run() {
+    let report = scan_as("panic_service.rs", "net");
+    assert_eq!(
+        rules_of(&report),
+        [
+            "panic-in-service-path",
+            "panic-in-service-path",
+            "panic-in-service-path"
+        ],
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].line, 7, "the explicit panic!");
+    assert_eq!(report.findings[1].line, 13, "the unreachable! arm");
+    assert_eq!(report.findings[2].line, 18, "the todo! body");
+    for f in &report.findings {
+        assert_eq!(f.severity, datawa_lint::Severity::Warning);
+    }
+    assert_eq!(report.suppressed, 1, "the chaos-injection suppression");
+    assert_eq!(report.errors(), 0);
+    assert!(!report.failed(), "warnings must not fail the run");
+    // Outside the service path the rule is silent entirely.
+    assert!(
+        !rules_of(&scan("panic_service.rs")).contains(&"panic-in-service-path"),
+        "rule must be scoped to service/net"
+    );
 }
 
 #[test]

@@ -1,0 +1,32 @@
+// Fixture: panic-in-service-path (observe-only warning). Scanned with
+// `--context net`, so this file masquerades as production code of the
+// transport front-end. It is never compiled — the engine's workspace walk
+// skips `tests/fixtures`.
+
+fn positive_explicit_panic(frame: Frame) {
+    panic!("unhandled frame {frame:?}");
+}
+
+fn positive_unreachable_arm(code: u8) -> ErrorCode {
+    match code {
+        0 => ErrorCode::BadHello,
+        _ => unreachable!("codec never yields this"),
+    }
+}
+
+fn positive_unfinished_path() {
+    todo!("resume not implemented yet")
+}
+
+fn negative_typed_refusal(writer: &SharedWriter) {
+    send(writer, &Frame::Error { code: ErrorCode::Protocol, message: "bad".into() });
+}
+
+fn negative_expect_is_a_different_rule(lock: &Mutex<u32>) -> u32 {
+    *lock.lock().expect("registry poisoned")
+}
+
+fn suppressed_chaos_injection() {
+    // datawa-lint: allow(panic-in-service-path) -- deterministic fault injection, caught by the pump supervisor
+    panic!("chaos: injected pump kill");
+}

@@ -23,7 +23,25 @@
 //!   quota](NetConfig)).
 //! * [`client`] — [`NetClient`]: a loopback client with a background frame
 //!   collector, which is how CI exercises the full stack over
-//!   `127.0.0.1` without real network access.
+//!   `127.0.0.1` without real network access; and [`ResilientClient`], the
+//!   retrying variant that owns its command log and survives transport
+//!   faults via capped jittered backoff plus reconnect-with-resume.
+//! * [`chaos`] — deterministic fault injection: [`ChaosProxy`], a
+//!   frame-aware TCP proxy that executes a seeded [`ChaosPlan`] of
+//!   connection resets, torn frames, duplicates and stalls, replayable
+//!   from a single seed (`DATAWA_CHAOS_SEED` drives the `chaos_smoke` CI
+//!   harness).
+//!
+//! ## Fault tolerance
+//!
+//! Admitted commands are journaled per tenant before they reach the
+//! session; pump threads run supervised (a panicking pump is caught,
+//! rebuilt by journal replay, and resumed while clients see typed
+//! `Recovering` retry-afters), and reconnecting clients resume from a
+//! count-based watermark (`Resume`/`ResumeAck`) so re-ingest is
+//! idempotent. `PROTOCOL.md` at the workspace root specifies the frames
+//! and semantics; `tests/chaos_recovery.rs` pins crash-recovery output
+//! bitwise-equal to the uninterrupted run for every policy × generator.
 //!
 //! ## Observability
 //!
@@ -34,7 +52,9 @@
 //! latency histogram, and per-tenant `net.tenant.<name>.frames_in` /
 //! `.decisions` / `.rejected` counters — alongside every tenant session's
 //! engine and planner metrics, since the sessions record into the same
-//! registry.
+//! registry. Recovery is observable too: `net.pump_recoveries` and
+//! per-tenant `net.tenant.<name>.recoveries` count supervised restarts,
+//! and the `net.recovery_seconds` histogram times each journal replay.
 //!
 //! ## Equivalence
 //!
@@ -43,10 +63,15 @@
 //! driven through `Session::ingest` directly (pinned per policy and
 //! generator by `tests/net_equivalence.rs`).
 
+pub mod chaos;
 pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, ClientOutcome, ClosedSummary, NetClient};
+pub use chaos::{ChaosPlan, ChaosProxy, Fault};
+pub use client::{
+    ClientError, ClientOutcome, ClosedSummary, NetClient, ResilientClient, RetryOutcome,
+    RetryPolicy,
+};
 pub use server::{NetConfig, NetServer};
 pub use wire::{ErrorCode, Frame, RetryReason, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -36,15 +36,44 @@
 //! Below all of that, each session still runs the service layer's bounded
 //! backlog (`ServiceConfig::max_pending`), so an admitted burst drains
 //! through the engine exactly like any other `DispatchService` run.
+//!
+//! ## Fault tolerance
+//!
+//! Every tenant carries a **ledger** that outlives individual connections:
+//! an append-only [`EventJournal`] of every admitted command plus the count
+//! of decisions streamed back. The pump thread runs under a supervisor
+//! (`catch_unwind`): a panicking pump — injected by the chaos harness or
+//! genuine — is restarted from the journal via
+//! [`DispatchService::open_recovered`], with a [`SkipSink`] suppressing the
+//! replayed decision prefix the client already received; because the engine
+//! is deterministic over its command sequence, the client-visible decision
+//! stream continues with neither losses nor duplicates. While a replay is in
+//! flight the reader refuses new events with
+//! [`RetryReason::Recovering`] instead of presenting a dead socket.
+//!
+//! Admission refusals are **sticky per connection**: after the first refusal
+//! every subsequent command is refused with the same reason until the client
+//! reconnects. This guarantees the admitted sequence is an exact prefix of
+//! the client's command log, which makes count-based resume exact: a
+//! reconnecting client sends [`Frame::Resume`] with the decision count it
+//! received, the server answers [`Frame::ResumeAck`] with the admitted
+//! command count, and the client resends its log from that index. An orderly
+//! `Close` ends the tenant's journaled identity; an unclean end (disconnect,
+//! protocol error, shed) preserves the ledger for resume and skips the
+//! session drain entirely, so no decision is fabricated on a dead stream.
 
 use crate::wire::{read_frame, write_frame, ErrorCode, Frame, RetryReason, WireError};
 use datawa_assign::{AdaptiveRunner, AssignConfig, PolicyKind, StaticForecast, TaskValueFunction};
 use datawa_obs::{Counter, Histogram, MetricsRegistry};
-use datawa_service::{DispatchService, NetSource, NetSourceHandle, ServiceConfig};
-use datawa_stream::{Decision, DecisionSink};
+use datawa_service::{
+    DispatchService, IngestSource, NetSource, NetSourceHandle, PumpStatus, ServiceConfig,
+    SharedSource, SourcePoll,
+};
+use datawa_stream::{Decision, DecisionSink, EventJournal, SkipSink};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -76,6 +105,12 @@ pub struct NetConfig {
     /// from `(tvf_hidden, tvf_seed)`, so a direct run constructed with
     /// `TaskValueFunction::new(tvf_hidden, tvf_seed)` is bit-identical.
     pub tvf_seed: u64,
+    /// Deterministic fault injection: `(tenant, n)` entries panic that
+    /// tenant's pump at the instant its journal holds exactly `n` events —
+    /// i.e. just before the `n+1`-th event would be admitted. Each entry
+    /// fires once; the supervisor then recovers the pump from its journal.
+    /// Empty (the default) disables injection.
+    pub pump_kills: Vec<(String, u64)>,
 }
 
 impl Default for NetConfig {
@@ -91,6 +126,7 @@ impl Default for NetConfig {
             retry_after_secs: 0.05,
             tvf_hidden: 8,
             tvf_seed: 0,
+            pump_kills: Vec::new(),
         }
     }
 }
@@ -98,13 +134,40 @@ impl Default for NetConfig {
 /// Admission-control state of one live tenant connection.
 struct TenantSlot {
     /// A clone of the tenant's source handle — `pending()` is the tenant's
-    /// un-pumped backlog, which the global-pressure sum reads.
-    handle: NetSourceHandle,
+    /// un-pumped backlog, which the global-pressure sum reads. Taken (set to
+    /// `None`) at teardown so the channel can exhaust while the slot itself
+    /// keeps blocking re-registration until the pump has fully drained.
+    handle: Option<NetSourceHandle>,
     /// Set when the global cap shed this tenant; cleared by its own reader
     /// once pressure drops back under the cap.
     shed: Arc<AtomicBool>,
     /// Connection sequence number — lower = older = first to be shed.
     seq: u64,
+}
+
+/// The per-tenant state that outlives any one connection: the journal of
+/// every admitted command, the count of decisions streamed back so far, and
+/// whether a crashed pump is currently replaying.
+///
+/// Created on the tenant's first connection; removed only by an orderly
+/// `Close` (which ends the journaled identity) — an unclean disconnect
+/// leaves the ledger in place so the next connection can resume against it.
+struct TenantLedger {
+    journal: EventJournal,
+    /// Client commands (events *and* advances) admitted by the reader,
+    /// cumulative across resumed connections. This — not the journal's
+    /// record count — is what `ResumeAck` reports: the journal also holds
+    /// service-generated backpressure-flush advances, which the client
+    /// never sent and must not count against its command log.
+    admitted_commands: AtomicU64,
+    /// Decisions actually written towards the client, cumulative across
+    /// resumed connections. A restarted pump skips exactly this many
+    /// replayed decisions (or the client-reported `Resume` count after a
+    /// reconnect).
+    decisions_streamed: Arc<AtomicU64>,
+    /// Set by the pump supervisor while a journal replay is in flight; the
+    /// reader answers events with [`RetryReason::Recovering`] meanwhile.
+    recovering: AtomicBool,
 }
 
 /// State shared by the acceptor and every connection/pump thread.
@@ -114,6 +177,7 @@ struct Shared {
     live_connections: AtomicUsize,
     conn_seq: AtomicU64,
     tenants: Mutex<BTreeMap<String, TenantSlot>>,
+    ledgers: Mutex<BTreeMap<String, Arc<TenantLedger>>>,
     stop: AtomicBool,
 }
 
@@ -121,7 +185,10 @@ impl Shared {
     /// Summed un-pumped backlog across every live tenant.
     fn global_pending(&self) -> usize {
         let tenants = self.tenants.lock().expect("tenant registry poisoned");
-        tenants.values().map(|t| t.handle.pending()).sum()
+        tenants
+            .values()
+            .map(|t| t.handle.as_ref().map_or(0, NetSourceHandle::pending))
+            .sum()
     }
 
     /// Marks the stalest (oldest-connection) un-shed tenant for shedding.
@@ -130,9 +197,26 @@ impl Shared {
         if tenants.values().any(|t| t.shed.load(Ordering::SeqCst)) {
             return; // one sacrifice at a time; re-evaluated as pressure persists
         }
-        if let Some(stalest) = tenants.values().min_by_key(|t| t.seq) {
+        if let Some(stalest) = tenants
+            .values()
+            .filter(|t| t.handle.is_some())
+            .min_by_key(|t| t.seq)
+        {
             stalest.shed.store(true, Ordering::SeqCst);
         }
+    }
+
+    /// The tenant's ledger, created on first use.
+    fn ledger_for(&self, tenant: &str) -> Arc<TenantLedger> {
+        let mut ledgers = self.ledgers.lock().expect("ledger registry poisoned");
+        Arc::clone(ledgers.entry(tenant.to_string()).or_insert_with(|| {
+            Arc::new(TenantLedger {
+                journal: EventJournal::in_memory(),
+                admitted_commands: AtomicU64::new(0),
+                decisions_streamed: Arc::new(AtomicU64::new(0)),
+                recovering: AtomicBool::new(false),
+            })
+        }))
     }
 }
 
@@ -180,11 +264,24 @@ fn send(writer: &SharedWriter, frames_out: &Counter, frame: &Frame) -> bool {
 }
 
 /// The routing [`DecisionSink`]: encodes every decision of one tenant's
-/// session as a frame on that tenant's own connection.
+/// session as a frame on that tenant's own connection. The streamed count
+/// lives in the tenant's ledger (not the sink) so it survives pump restarts
+/// and reconnects — it is exactly the resume skip for the next incarnation.
+///
+/// The ledger count is a stream *position* (`base + emitted`), not a write
+/// counter: after a reconnect resumes below the old high-water mark, the
+/// re-streamed span must not be double-counted, so each emit stores its
+/// absolute index rather than incrementing.
 struct FrameSink {
     writer: SharedWriter,
     frames_out: Counter,
     tenant_decisions: Counter,
+    streamed: Arc<AtomicU64>,
+    /// The skip this incarnation opened with — decisions `0..base` were
+    /// already delivered and are being suppressed by the wrapping
+    /// [`SkipSink`].
+    base: u64,
+    /// Decisions this incarnation has written past `base`.
     emitted: u64,
     undeliverable: u64,
 }
@@ -192,6 +289,8 @@ struct FrameSink {
 impl DecisionSink for FrameSink {
     fn emit(&mut self, decision: Decision) {
         self.emitted += 1;
+        self.streamed
+            .store(self.base + self.emitted, Ordering::SeqCst);
         self.tenant_decisions.inc();
         if !send(
             &self.writer,
@@ -224,6 +323,7 @@ impl NetServer {
             live_connections: AtomicUsize::new(0),
             conn_seq: AtomicU64::new(0),
             tenants: Mutex::new(BTreeMap::new()),
+            ledgers: Mutex::new(BTreeMap::new()),
             stop: AtomicBool::new(false),
         });
         let workers: WorkerList = Arc::new(Mutex::new(Vec::new()));
@@ -397,6 +497,15 @@ fn handshake(
     Some(tenant)
 }
 
+/// How a connection's frame stream ended, which decides the pump's fate:
+/// an orderly `Close` drains the session and ends the tenant's journaled
+/// identity; anything else preserves the ledger for a later resume.
+#[derive(PartialEq)]
+enum StreamEnd {
+    Orderly,
+    Unclean,
+}
+
 fn connection_main(shared: &Arc<Shared>, stream: TcpStream) {
     let frames_out = shared.obs.counter("net.frames_out");
     let writer: SharedWriter = match stream.try_clone() {
@@ -409,7 +518,9 @@ fn connection_main(shared: &Arc<Shared>, stream: TcpStream) {
         return;
     };
 
-    // Register the tenant: one live connection per tenant name.
+    // Register the tenant: one live connection per tenant name. A slot with
+    // `handle: None` is a previous connection still draining its pump; that
+    // refusal is retryable, so it answers TenantBusy like a true duplicate.
     let (handle, source) = NetSource::channel();
     let seq = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
     let shed = Arc::new(AtomicBool::new(false));
@@ -429,12 +540,13 @@ fn connection_main(shared: &Arc<Shared>, stream: TcpStream) {
         tenants.insert(
             tenant.clone(),
             TenantSlot {
-                handle: handle.clone(),
+                handle: Some(handle.clone()),
                 shed: Arc::clone(&shed),
                 seq,
             },
         );
     }
+    let ledger = shared.ledger_for(&tenant);
     let metrics = ConnMetrics::for_tenant(&shared.obs, &tenant);
     send(
         &writer,
@@ -444,64 +556,295 @@ fn connection_main(shared: &Arc<Shared>, stream: TcpStream) {
         },
     );
 
-    // The pump: this tenant's whole dispatch stack, fed by the channel.
+    // Resume arming: the pump's decision skip must be fixed before it opens,
+    // so peek the first post-handshake frame. A `Resume` carries the decision
+    // count the client actually received and is answered with the admitted
+    // command count (quiescent here — no pump or reader is running for this
+    // tenant); anything else falls back to the server-side streamed count
+    // and is re-processed by the read loop below.
+    let initial_admitted = ledger.admitted_commands.load(Ordering::SeqCst);
+    let (skip, stashed) = match read_frame(&mut reader) {
+        Ok(Frame::Resume { decisions_seen }) => {
+            metrics.frames_in.inc();
+            metrics.tenant_frames_in.inc();
+            send(
+                &writer,
+                &frames_out,
+                &Frame::ResumeAck {
+                    events_ingested: initial_admitted,
+                },
+            );
+            (decisions_seen, None)
+        }
+        first => (
+            ledger.decisions_streamed.load(Ordering::SeqCst),
+            Some(first),
+        ),
+    };
+
+    // The pump: this tenant's whole dispatch stack, fed by the channel and
+    // restarted from the journal by its supervisor if it panics.
+    let orderly = Arc::new(AtomicBool::new(false));
     let pump = {
         let shared = Arc::clone(shared);
         let writer = Arc::clone(&writer);
-        let sink = FrameSink {
-            writer: Arc::clone(&writer),
-            frames_out: shared.obs.counter("net.frames_out"),
-            tenant_decisions: shared
-                .obs
-                .counter(&format!("net.tenant.{tenant}.decisions")),
-            emitted: 0,
-            undeliverable: 0,
-        };
+        let ledger = Arc::clone(&ledger);
+        let orderly = Arc::clone(&orderly);
+        let tenant = tenant.clone();
+        let source = SharedSource::new(source);
         std::thread::spawn(move || {
-            let mut runner = AdaptiveRunner::new(shared.cfg.assign, shared.cfg.policy)
-                .with_metrics(shared.obs.clone());
-            if shared.cfg.policy == PolicyKind::DataWa {
-                // with_tvf consumes the TVF and the type is not Clone, so
-                // every pump rebuilds it from the shared (hidden, seed) pair
-                // — deterministic, hence still bit-equal to a direct run.
-                runner = runner.with_tvf(TaskValueFunction::new(
-                    shared.cfg.tvf_hidden,
-                    shared.cfg.tvf_seed,
-                ));
-            }
-            let mut forecast = StaticForecast::default();
-            let service =
-                DispatchService::open(&runner, &mut forecast, source, sink, shared.cfg.service);
-            let (outcome, _stats, sink) = service.run();
-            send(
-                &writer,
-                &shared.obs.counter("net.frames_out"),
-                &Frame::Closed {
-                    assigned: outcome.run.assigned_tasks as u64,
-                    decisions: sink.emitted,
-                    events: outcome.stats.events_processed as u64,
-                    planning_calls: outcome.run.planning_calls as u64,
-                },
-            );
+            pump_main(&shared, &writer, &ledger, &orderly, source, &tenant, skip)
         })
     };
 
-    read_loop(shared, &mut reader, &writer, &handle, &shed, &metrics);
+    let end = read_loop(
+        shared,
+        &mut reader,
+        &writer,
+        &handle,
+        &shed,
+        &metrics,
+        &ledger,
+        stashed,
+        initial_admitted,
+    );
 
-    // End of stream (orderly Close, protocol violation, or disconnect):
-    // deregister first — the registry slot holds a sender clone, so the
-    // source only exhausts once both it and the reader's handle are gone —
-    // then let the pump drain the session and report totals.
+    // End of stream. Drop every sender clone so the channel exhausts and the
+    // pump can finish — but keep the slot registered (handle: None) until the
+    // pump has drained, so a racing reconnect gets a retryable TenantBusy
+    // instead of a second pump over the same journal.
+    if end == StreamEnd::Orderly {
+        orderly.store(true, Ordering::SeqCst);
+    }
+    if let Some(slot) = shared
+        .tenants
+        .lock()
+        .expect("tenant registry poisoned")
+        .get_mut(&tenant)
+    {
+        slot.handle = None;
+    }
+    handle.close();
+    let _ = pump.join();
+    if end == StreamEnd::Orderly {
+        // Orderly close ends the journaled identity: a future connection
+        // under this tenant name starts a fresh session from record zero.
+        shared
+            .ledgers
+            .lock()
+            .expect("ledger registry poisoned")
+            .remove(&tenant);
+    }
     shared
         .tenants
         .lock()
         .expect("tenant registry poisoned")
         .remove(&tenant);
-    handle.close();
-    let _ = pump.join();
+    // The shutdown worker list still holds a clone of this socket, so
+    // dropping our handles alone never FINs the peer — do it explicitly.
+    // Orderly closes have already flushed their `Closed` frame (FIN queues
+    // behind sent data); unclean ends have no terminal frame at all, and a
+    // client (or a chaos proxy's byte copier) still reading would otherwise
+    // stall silently instead of seeing EOF.
+    let _ = writer
+        .lock()
+        .expect("connection writer poisoned")
+        .shutdown(Shutdown::Both);
+}
+
+/// Consecutive no-progress recoveries tolerated before the pump gives up.
+const MAX_STALLED_RECOVERIES: u32 = 3;
+
+/// The pump supervisor: runs [`pump_once`] under `catch_unwind`, and on a
+/// panic replays the tenant's journal into a fresh service with the already
+/// streamed decision prefix suppressed. Gives up (typed [`ErrorCode::PumpFailed`])
+/// only after [`MAX_STALLED_RECOVERIES`] consecutive restarts with no new
+/// journal records — a pump that keeps progressing may recover any number of
+/// injected faults.
+#[allow(clippy::too_many_arguments)]
+fn pump_main(
+    shared: &Arc<Shared>,
+    writer: &SharedWriter,
+    ledger: &Arc<TenantLedger>,
+    orderly: &Arc<AtomicBool>,
+    source: SharedSource<NetSource>,
+    tenant: &str,
+    mut skip: u64,
+) {
+    let frames_out = shared.obs.counter("net.frames_out");
+    let recoveries = shared.obs.counter("net.pump_recoveries");
+    let tenant_recoveries = shared
+        .obs
+        .counter(&format!("net.tenant.{tenant}.recoveries"));
+    let mut kills: Vec<u64> = shared
+        .cfg
+        .pump_kills
+        .iter()
+        .filter(|(t, _)| t == tenant)
+        .map(|(_, n)| *n)
+        .collect();
+    let mut attempt: u32 = 0;
+    let mut stalled: u32 = 0;
+    let mut last_records = ledger.journal.record_count();
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            pump_once(
+                shared,
+                writer,
+                ledger,
+                orderly,
+                source.clone(),
+                tenant,
+                &mut kills,
+                skip,
+                attempt,
+            );
+        }));
+        match run {
+            Ok(()) => return,
+            Err(_) => {
+                // The dead service took nothing with it: admitted commands
+                // live in the journal (ingested) or the shared channel (not
+                // yet pumped), and the streamed count sits in the ledger.
+                ledger.recovering.store(true, Ordering::SeqCst);
+                recoveries.inc();
+                tenant_recoveries.inc();
+                let records = ledger.journal.record_count();
+                if records == last_records {
+                    stalled += 1;
+                } else {
+                    stalled = 0;
+                    last_records = records;
+                }
+                if stalled >= MAX_STALLED_RECOVERIES {
+                    // Leave `recovering` set: the reader keeps answering this
+                    // tenant's events with a typed retry-after instead of a
+                    // silently dead pump, and the ledger survives for a
+                    // reconnect to resume against.
+                    send(
+                        writer,
+                        &frames_out,
+                        &Frame::Error {
+                            code: ErrorCode::PumpFailed,
+                            message: format!(
+                                "tenant pump failed {stalled} consecutive recovery attempts"
+                            ),
+                        },
+                    );
+                    // Commands still queued in the channel will never reach
+                    // the journal — drain and un-count them so a later
+                    // `ResumeAck` tells the client to resend exactly what was
+                    // lost. (Blocks until the reader closes the handle, which
+                    // it does before joining this thread.)
+                    let mut drain = source.clone();
+                    while let SourcePoll::Ready(..) | SourcePoll::Wait(_) = drain.poll() {
+                        ledger.admitted_commands.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    return;
+                }
+                skip = ledger.decisions_streamed.load(Ordering::SeqCst);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// One pump incarnation: replay the journal (a no-op on the first run of a
+/// fresh tenant), then pump the shared channel to exhaustion. Only an
+/// orderly close drains the session and reports [`Frame::Closed`]; an
+/// unclean end drops the service un-finished so no decision is emitted at a
+/// dead client.
+#[allow(clippy::too_many_arguments)]
+fn pump_once(
+    shared: &Arc<Shared>,
+    writer: &SharedWriter,
+    ledger: &Arc<TenantLedger>,
+    orderly: &Arc<AtomicBool>,
+    source: SharedSource<NetSource>,
+    tenant: &str,
+    kills: &mut Vec<u64>,
+    skip: u64,
+    attempt: u32,
+) {
+    let mut runner =
+        AdaptiveRunner::new(shared.cfg.assign, shared.cfg.policy).with_metrics(shared.obs.clone());
+    if shared.cfg.policy == PolicyKind::DataWa {
+        // with_tvf consumes the TVF and the type is not Clone, so every pump
+        // rebuilds it from the shared (hidden, seed) pair — deterministic,
+        // hence still bit-equal to a direct run.
+        runner = runner.with_tvf(TaskValueFunction::new(
+            shared.cfg.tvf_hidden,
+            shared.cfg.tvf_seed,
+        ));
+    }
+    let mut forecast = StaticForecast::default();
+    let sink = SkipSink::new(
+        FrameSink {
+            writer: Arc::clone(writer),
+            frames_out: shared.obs.counter("net.frames_out"),
+            tenant_decisions: shared
+                .obs
+                .counter(&format!("net.tenant.{tenant}.decisions")),
+            streamed: Arc::clone(&ledger.decisions_streamed),
+            base: skip,
+            emitted: 0,
+            undeliverable: 0,
+        },
+        skip,
+    );
+    // Restarts time the journal replay into `net.recovery_seconds`; the
+    // first incarnation of a fresh tenant replays nothing and records
+    // nothing.
+    let recovery_seconds = shared.obs.histogram("net.recovery_seconds");
+    let recovery_span = (attempt > 0).then(|| recovery_seconds.span());
+    let mut service = DispatchService::open_recovered(
+        &runner,
+        &mut forecast,
+        source,
+        sink,
+        shared.cfg.service,
+        ledger.journal.clone(),
+    )
+    .expect("tenant journal replays cleanly");
+    drop(recovery_span);
+    ledger.recovering.store(false, Ordering::SeqCst);
+    loop {
+        if let Some(at) = kills
+            .iter()
+            .position(|n| *n == ledger.journal.event_count())
+        {
+            kills.remove(at);
+            // datawa-lint: allow(panic-in-service-path) -- deterministic chaos injection, caught by the pump supervisor
+            panic!("chaos: injected pump kill for tenant {tenant}");
+        }
+        if service.pump() == PumpStatus::SourceDrained {
+            break;
+        }
+    }
+    if orderly.load(Ordering::SeqCst) {
+        let (outcome, _stats, sink) = service.finish();
+        let _ = sink; // undeliverable count dies with the connection
+        send(
+            writer,
+            &shared.obs.counter("net.frames_out"),
+            &Frame::Closed {
+                assigned: outcome.run.assigned_tasks as u64,
+                decisions: ledger.decisions_streamed.load(Ordering::SeqCst),
+                events: outcome.stats.events_processed as u64,
+                planning_calls: outcome.run.planning_calls as u64,
+            },
+        );
+    }
 }
 
 /// Decodes frames and applies admission until the stream ends.
+///
+/// Refusals are sticky: the first refused command fixes the refusal reason
+/// for the rest of the connection, so the admitted sequence is always an
+/// exact prefix of what the client sent — the invariant count-based resume
+/// relies on. `stashed` carries the first post-handshake frame when it was
+/// not a `Resume` (the connection peeks it to arm the pump's skip).
+#[allow(clippy::too_many_arguments)]
 fn read_loop(
     shared: &Shared,
     reader: &mut BufReader<TcpStream>,
@@ -509,41 +852,82 @@ fn read_loop(
     handle: &NetSourceHandle,
     shed: &Arc<AtomicBool>,
     metrics: &ConnMetrics,
-) {
+    ledger: &Arc<TenantLedger>,
+    mut stashed: Option<Result<Frame, WireError>>,
+    mut admitted: u64,
+) -> StreamEnd {
     // Times must be non-decreasing per connection; an AdvanceTo moves the
     // session watermark, so a later event below it would panic the pump.
     let mut watermark = f64::NEG_INFINITY;
+    // Once set, every later command answers with this same retry-after.
+    let mut refusing: Option<RetryReason> = None;
     let protocol_error = |writer: &SharedWriter, code, message: String| {
         send(writer, &metrics.frames_out, &Frame::Error { code, message });
     };
+    let refuse = |writer: &SharedWriter, reason: RetryReason| {
+        metrics.rejected.inc();
+        metrics.tenant_rejected.inc();
+        send(
+            writer,
+            &metrics.frames_out,
+            &Frame::RetryAfter {
+                seconds: shared.cfg.retry_after_secs,
+                reason,
+            },
+        );
+    };
     loop {
-        let frame = match read_frame(reader) {
+        let frame = match stashed.take().unwrap_or_else(|| read_frame(reader)) {
             Ok(frame) => frame,
-            Err(WireError::Io(_)) => return, // disconnect (mid-frame or clean)
+            Err(WireError::Io(_)) => return StreamEnd::Unclean, // disconnect
             Err(e) => {
                 // Junk bytes, oversized prefix, unknown type: answer with a
                 // typed error, then close this connection only.
                 protocol_error(writer, ErrorCode::Protocol, e.to_string());
-                return;
+                return StreamEnd::Unclean;
             }
         };
         metrics.frames_in.inc();
         metrics.tenant_frames_in.inc();
         match frame {
-            Frame::Close => return,
+            Frame::Close => return StreamEnd::Orderly,
+            Frame::Resume { .. } => {
+                // Mid-stream Resume is a sync ping: the answer counts every
+                // command admitted so far (queued refusals for earlier
+                // commands are already ordered before it on the wire), which
+                // tells the client exactly where its log prefix ends.
+                send(
+                    writer,
+                    &metrics.frames_out,
+                    &Frame::ResumeAck {
+                        events_ingested: admitted,
+                    },
+                );
+            }
             Frame::AdvanceTo { time } => {
+                if let Some(reason) = refusing {
+                    refuse(writer, reason);
+                    continue;
+                }
+                if ledger.recovering.load(Ordering::SeqCst) {
+                    refusing = Some(RetryReason::Recovering);
+                    refuse(writer, RetryReason::Recovering);
+                    continue;
+                }
                 if time.0 < watermark {
                     protocol_error(
                         writer,
                         ErrorCode::BadEvent,
                         format!("AdvanceTo {} is behind watermark {watermark}", time.0),
                     );
-                    return;
+                    return StreamEnd::Unclean;
                 }
                 watermark = time.0;
                 if handle.push_advance(time).is_err() {
-                    return; // pump is gone; nothing more to ingest
+                    return StreamEnd::Unclean; // pump is gone
                 }
+                admitted += 1;
+                ledger.admitted_commands.store(admitted, Ordering::SeqCst);
             }
             event_frame @ (Frame::TaskArrival { .. }
             | Frame::WorkerOnline { .. }
@@ -551,6 +935,10 @@ fn read_loop(
             | Frame::WorkerOffline { .. }
             | Frame::ReplanTick { .. }) => {
                 let _ingest_span = metrics.ingest_seconds.span();
+                if let Some(reason) = refusing {
+                    refuse(writer, reason);
+                    continue;
+                }
                 if let Frame::TaskArrival { task, .. } = &event_frame {
                     if !task.is_well_formed() {
                         protocol_error(
@@ -558,7 +946,7 @@ fn read_loop(
                             ErrorCode::BadEvent,
                             format!("malformed task {}", task.id),
                         );
-                        return;
+                        return StreamEnd::Unclean;
                     }
                 }
                 if let Frame::WorkerOnline { worker, .. } = &event_frame {
@@ -568,7 +956,7 @@ fn read_loop(
                             ErrorCode::BadEvent,
                             format!("malformed worker {}", worker.id),
                         );
-                        return;
+                        return StreamEnd::Unclean;
                     }
                 }
                 let (time, event) = event_frame.into_event().expect("matched an event frame");
@@ -578,17 +966,21 @@ fn read_loop(
                         ErrorCode::BadEvent,
                         format!("event at {} is behind watermark {watermark}", time.0),
                     );
-                    return;
+                    return StreamEnd::Unclean;
                 }
-                // Admission, global first: under server-wide pressure the
+                // Admission. A replaying pump refuses first (typed signal,
+                // not a dead socket); then global pressure — under it the
                 // stalest tenant is shed, and a shed tenant stays refused
-                // until the total backlog is back under the cap.
+                // until the total backlog is back under the cap — then the
+                // per-tenant quota.
                 if shared.global_pending() >= shared.cfg.global_pending_cap {
                     shared.shed_stalest();
                 } else {
                     shed.store(false, Ordering::SeqCst);
                 }
-                let reason = if shed.load(Ordering::SeqCst) {
+                let reason = if ledger.recovering.load(Ordering::SeqCst) {
+                    Some(RetryReason::Recovering)
+                } else if shed.load(Ordering::SeqCst) {
                     Some(RetryReason::GlobalOverload)
                 } else if handle.pending() >= shared.cfg.tenant_pending_quota {
                     Some(RetryReason::TenantQuota)
@@ -596,22 +988,16 @@ fn read_loop(
                     None
                 };
                 if let Some(reason) = reason {
-                    metrics.rejected.inc();
-                    metrics.tenant_rejected.inc();
-                    send(
-                        writer,
-                        &metrics.frames_out,
-                        &Frame::RetryAfter {
-                            seconds: shared.cfg.retry_after_secs,
-                            reason,
-                        },
-                    );
+                    refusing = Some(reason);
+                    refuse(writer, reason);
                     continue;
                 }
                 watermark = time.0;
                 if handle.push_event(time, event).is_err() {
-                    return;
+                    return StreamEnd::Unclean;
                 }
+                admitted += 1;
+                ledger.admitted_commands.store(admitted, Ordering::SeqCst);
             }
             Frame::Hello { .. } => {
                 protocol_error(
@@ -619,7 +1005,7 @@ fn read_loop(
                     ErrorCode::Protocol,
                     "Hello after handshake".to_string(),
                 );
-                return;
+                return StreamEnd::Unclean;
             }
             _server_only => {
                 protocol_error(
@@ -627,7 +1013,7 @@ fn read_loop(
                     ErrorCode::Protocol,
                     "client sent a server-only frame".to_string(),
                 );
-                return;
+                return StreamEnd::Unclean;
             }
         }
     }

@@ -39,6 +39,9 @@ pub enum RetryReason {
     GlobalOverload,
     /// The global connection cap was reached; the connection is closed.
     ConnectionCap,
+    /// The tenant's pump crashed and is being restarted from its journal;
+    /// the event was *not* ingested. Resend it after the suggested backoff.
+    Recovering,
 }
 
 impl RetryReason {
@@ -47,6 +50,7 @@ impl RetryReason {
             RetryReason::TenantQuota => 0,
             RetryReason::GlobalOverload => 1,
             RetryReason::ConnectionCap => 2,
+            RetryReason::Recovering => 3,
         }
     }
 
@@ -55,6 +59,7 @@ impl RetryReason {
             0 => Ok(RetryReason::TenantQuota),
             1 => Ok(RetryReason::GlobalOverload),
             2 => Ok(RetryReason::ConnectionCap),
+            3 => Ok(RetryReason::Recovering),
             _ => Err(WireError::Malformed("unknown retry-after reason")),
         }
     }
@@ -78,6 +83,9 @@ pub enum ErrorCode {
     /// An event frame violated the session's time contract (non-finite or
     /// decreasing timestamp, malformed task/worker fields).
     BadEvent,
+    /// The tenant's pump exhausted its recovery attempts without making
+    /// progress; the ledger survives, so a reconnect may still resume.
+    PumpFailed,
 }
 
 impl ErrorCode {
@@ -89,6 +97,7 @@ impl ErrorCode {
             ErrorCode::TenantBusy => 3,
             ErrorCode::Protocol => 4,
             ErrorCode::BadEvent => 5,
+            ErrorCode::PumpFailed => 6,
         }
     }
 
@@ -100,6 +109,7 @@ impl ErrorCode {
             3 => Ok(ErrorCode::TenantBusy),
             4 => Ok(ErrorCode::Protocol),
             5 => Ok(ErrorCode::BadEvent),
+            6 => Ok(ErrorCode::PumpFailed),
             _ => Err(WireError::Malformed("unknown error code")),
         }
     }
@@ -160,6 +170,16 @@ pub enum Frame {
     /// Orderly end of the tenant's stream; the server drains the session
     /// and answers with [`Frame::Closed`].
     Close,
+    /// Reconnect-and-resume: tells the server how many decision frames the
+    /// client has already received, so a recovered pump suppresses exactly
+    /// that replayed prefix. As the first post-handshake frame it arms
+    /// resume; mid-stream it is a sync ping the server answers with a
+    /// [`Frame::ResumeAck`] carrying the current ingested-command count.
+    Resume {
+        /// Decision frames the client has already received on earlier
+        /// connections for this tenant.
+        decisions_seen: u64,
+    },
 
     // ---- server → client ----
     /// Handshake accepted.
@@ -206,6 +226,16 @@ pub enum Frame {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// Answers a [`Frame::Resume`] (and is also sent unconditionally once a
+    /// tenant pump starts or restarts): how many of the tenant's commands
+    /// (events + advances) the server has durably ingested. A resuming
+    /// client replays its command log from this index — commands the server
+    /// never admitted are resent, admitted ones are not, so nothing is lost
+    /// or double-ingested.
+    ResumeAck {
+        /// Commands (events + advances) ingested into the tenant's journal.
+        events_ingested: u64,
     },
     /// Final frame of an orderly shutdown: the session's totals.
     Closed {
@@ -276,6 +306,7 @@ const T_WORKER_OFFLINE: u8 = 0x05;
 const T_REPLAN_TICK: u8 = 0x06;
 const T_ADVANCE_TO: u8 = 0x07;
 const T_CLOSE: u8 = 0x08;
+const T_RESUME: u8 = 0x09;
 const T_HELLO_ACK: u8 = 0x81;
 const T_DISPATCH: u8 = 0x82;
 const T_TASK_EXPIRED: u8 = 0x83;
@@ -283,6 +314,7 @@ const T_OFFLINE_NOTICE: u8 = 0x84;
 const T_RETRY_AFTER: u8 = 0x85;
 const T_ERROR: u8 = 0x86;
 const T_CLOSED: u8 = 0x87;
+const T_RESUME_ACK: u8 = 0x88;
 
 /// Sequential payload writer.
 struct Enc {
@@ -463,6 +495,16 @@ impl Frame {
                 e.buf
             }
             Frame::Close => Enc::new(T_CLOSE).buf,
+            Frame::Resume { decisions_seen } => {
+                let mut e = Enc::new(T_RESUME);
+                e.u64(*decisions_seen);
+                e.buf
+            }
+            Frame::ResumeAck { events_ingested } => {
+                let mut e = Enc::new(T_RESUME_ACK);
+                e.u64(*events_ingested);
+                e.buf
+            }
             Frame::HelloAck { version } => {
                 let mut e = Enc::new(T_HELLO_ACK);
                 e.u8(*version);
@@ -578,6 +620,12 @@ impl Frame {
                 time: Timestamp(d.finite()?),
             },
             T_CLOSE => Frame::Close,
+            T_RESUME => Frame::Resume {
+                decisions_seen: d.u64()?,
+            },
+            T_RESUME_ACK => Frame::ResumeAck {
+                events_ingested: d.u64()?,
+            },
             T_HELLO_ACK => Frame::HelloAck { version: d.u8()? },
             T_DISPATCH => Frame::Dispatch {
                 at: Timestamp(d.finite()?),
@@ -771,6 +819,10 @@ mod tests {
                 time: Timestamp(50.0),
             },
             Frame::Close,
+            Frame::Resume { decisions_seen: 12 },
+            Frame::ResumeAck {
+                events_ingested: 345,
+            },
             Frame::HelloAck {
                 version: PROTOCOL_VERSION,
             },
@@ -791,6 +843,10 @@ mod tests {
             Frame::RetryAfter {
                 seconds: 0.05,
                 reason: RetryReason::TenantQuota,
+            },
+            Frame::RetryAfter {
+                seconds: 0.1,
+                reason: RetryReason::Recovering,
             },
             Frame::Error {
                 code: ErrorCode::TenantBusy,
@@ -891,6 +947,44 @@ mod tests {
             ),
         };
         assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);
+    }
+
+    #[test]
+    fn journal_bytes_are_wire_event_frame_bytes() {
+        // A tenant's journal is the admitted prefix of its wire command
+        // stream, byte for byte: `datawa-stream` mirrors this codec without
+        // depending on it, so the equivalence is pinned here where both
+        // sides are visible.
+        use datawa_stream::EventJournal;
+        let journal = EventJournal::in_memory();
+        let commands = [
+            (Timestamp(1.0), Event::WorkerOnline(worker())),
+            (Timestamp(3.0), Event::TaskArrival(task())),
+            (Timestamp(4.0), Event::ReplanTick),
+            (Timestamp(9.5), Event::TaskExpiration(TaskId(7))),
+            (Timestamp(100.0), Event::WorkerOffline(WorkerId(11))),
+        ];
+        let mut pipe = Vec::new();
+        for (time, event) in &commands {
+            journal.append_event(*time, event).unwrap();
+            write_frame(&mut pipe, &Frame::from_event(*time, event)).unwrap();
+        }
+        journal.append_advance(Timestamp(50.0)).unwrap();
+        write_frame(
+            &mut pipe,
+            &Frame::AdvanceTo {
+                time: Timestamp(50.0),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            journal.snapshot_bytes().unwrap(),
+            pipe,
+            "journal byte stream == wire frame stream"
+        );
+        // And the journal's reader decodes a captured wire stream.
+        let recovered = EventJournal::from_bytes(pipe).recovered_records().unwrap();
+        assert_eq!(recovered.len(), commands.len() + 1);
     }
 
     #[test]

@@ -46,6 +46,14 @@
 //! which is how per-shard sessions and worker threads aggregate without
 //! locks.
 //!
+//! Names are dot-namespaced by owning layer: `assign.*` (planner),
+//! `stream.*` (engine), `service.*` (dispatch service), `net.*`
+//! (transport — including the fault-tolerance family `net.pump_recoveries`,
+//! `net.tenant.<name>.recoveries` and the `net.recovery_seconds` journal
+//! replay histogram, exercised by the chaos suite). The registry itself
+//! imposes no schema; the convention keeps snapshots diffable across
+//! layers.
+//!
 //! The [`CountingAlloc`] global-allocator shim (installed only by binaries
 //! that opt in, e.g. the `soak` harness in `datawa-bench`) adds live-heap
 //! high-water tracking for `BENCH_*.json` memory columns.

@@ -14,7 +14,10 @@ use crate::source::{IngestSource, SourcePoll};
 use datawa_assign::{AdaptiveRunner, ForecastProvider, ForecastStats};
 use datawa_core::Timestamp;
 use datawa_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
-use datawa_stream::{DecisionSink, EngineConfig, EngineOutcome, Session, SessionSnapshot};
+use datawa_stream::{
+    DecisionSink, EngineConfig, EngineOutcome, EventJournal, JournalError, JournalRecord, Session,
+    SessionSnapshot,
+};
 
 /// Service knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,6 +184,65 @@ impl<'a, Src: IngestSource, Sink: DecisionSink> DispatchService<'a, Src, Sink> {
         }
     }
 
+    /// [`DispatchService::open`], but resuming an interrupted run from its
+    /// journal: the fresh session replays every journaled ingest and advance
+    /// in order (reproduced decisions flow into `sink` — wrap it in
+    /// [`SkipSink`](datawa_stream::SkipSink) to suppress what a consumer
+    /// already received), and the service's admission bookkeeping
+    /// (`admitted_up_to`, the unadvanced backlog, the ingested count) is
+    /// restored from the record stream so post-recovery backpressure flushes
+    /// fire at exactly the instants the uninterrupted run would have chosen.
+    /// The journal is re-attached afterwards, so the recovered service keeps
+    /// recording and can itself be recovered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JournalError`] from reading or replaying the journal.
+    pub fn open_recovered(
+        runner: &'a AdaptiveRunner,
+        forecast: &'a mut dyn ForecastProvider,
+        source: Src,
+        sink: Sink,
+        config: ServiceConfig,
+        journal: EventJournal,
+    ) -> Result<DispatchService<'a, Src, Sink>, JournalError> {
+        let records = journal.recovered_records()?;
+        let mut service = DispatchService::open(runner, forecast, source, sink, config);
+        for record in records {
+            match record {
+                JournalRecord::Event(time, event) => {
+                    service
+                        .session
+                        .ingest(time, event)
+                        .map_err(JournalError::Replay)?;
+                    service.stats.ingested += 1;
+                    service.metrics.ingested.inc();
+                    service.unadvanced += 1;
+                    service.metrics.backlog.set(service.unadvanced as i64);
+                    service.stats.peak_pending =
+                        service.stats.peak_pending.max(service.session.pending());
+                    if time.0 > service.admitted_up_to.0 {
+                        service.admitted_up_to = time;
+                    }
+                }
+                JournalRecord::Advance(time) => {
+                    service.session.advance_to(time, &mut service.sink);
+                    service.unadvanced = 0;
+                    service.metrics.backlog.set(0);
+                }
+            }
+        }
+        service.session.attach_journal(journal);
+        Ok(service)
+    }
+
+    /// Attaches `journal` to the service's session: every subsequently
+    /// admitted event and advance target is recorded for crash recovery
+    /// (see [`DispatchService::open_recovered`]).
+    pub fn attach_journal(&mut self, journal: EventJournal) {
+        self.session.attach_journal(journal);
+    }
+
     /// Service counters so far, including the live forecast-provider
     /// counters. The stall count and the backlog high-water come from the
     /// observability registry, so they are cumulative over the whole run.
@@ -319,6 +381,78 @@ mod tests {
             assert_eq!(stats.ingested, workload.arrival_count());
             assert_eq!(sink.dispatches(), batch.run.assigned_tasks);
         }
+    }
+
+    #[test]
+    fn recovered_service_matches_the_uninterrupted_run_bitwise() {
+        use datawa_stream::{EventJournal, SkipSink};
+        let workload =
+            UniformBaseline::new(ScenarioSpec::small().with_tasks(250).with_workers(18)).generate();
+        let r = runner(PolicyKind::Dta);
+        // Tight backpressure so the replay must also restore the admission
+        // bookkeeping: a drifted `unadvanced` count would flush at different
+        // instants and change decision order.
+        let tight = ServiceConfig {
+            max_pending: 8,
+            ..ServiceConfig::default()
+        };
+
+        // Uninterrupted reference run.
+        let mut ref_forecast = StaticForecast::default();
+        let reference = DispatchService::open(
+            &r,
+            &mut ref_forecast,
+            WorkloadSource::new(&workload),
+            CollectingSink::new(),
+            tight,
+        );
+        let (ref_outcome, ref_stats, ref_sink) = reference.run();
+
+        // Journaled run, "crashed" mid-stream.
+        let journal = EventJournal::in_memory();
+        let mut live_forecast = StaticForecast::default();
+        let mut live = DispatchService::open(
+            &r,
+            &mut live_forecast,
+            WorkloadSource::new(&workload),
+            CollectingSink::new(),
+            tight,
+        );
+        live.attach_journal(journal.clone());
+        for _ in 0..137 {
+            assert_ne!(live.pump(), PumpStatus::SourceDrained);
+        }
+        let seen = live.sink().decisions().len() as u64;
+        drop(live); // the crash
+
+        // Recover: replay the journal, resume the source past what was
+        // already admitted, and suppress the decisions the consumer saw.
+        let mut rest = WorkloadSource::new(&workload);
+        for _ in 0..journal.event_count() {
+            let _ = rest.poll();
+        }
+        let mut rec_forecast = StaticForecast::default();
+        let recovered = DispatchService::open_recovered(
+            &r,
+            &mut rec_forecast,
+            rest,
+            SkipSink::new(CollectingSink::new(), seen),
+            tight,
+            journal,
+        )
+        .expect("journal replays cleanly");
+        let (outcome, stats, sink) = recovered.run();
+        assert_eq!(sink.skipped(), seen, "replay reproduced the seen prefix");
+        let post = sink.into_inner().into_decisions();
+        assert_eq!(
+            &ref_sink.decisions()[seen as usize..],
+            &post[..],
+            "post-crash decisions continue the reference stream bitwise"
+        );
+        assert_eq!(outcome.run.assigned_tasks, ref_outcome.run.assigned_tasks);
+        assert_eq!(outcome.run.planning_calls, ref_outcome.run.planning_calls);
+        assert_eq!(outcome.run.per_worker, ref_outcome.run.per_worker);
+        assert_eq!(stats.ingested, ref_stats.ingested);
     }
 
     #[test]

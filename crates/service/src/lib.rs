@@ -87,5 +87,6 @@ pub mod source;
 
 pub use dispatch::{DispatchService, PumpStatus, ServiceConfig, ServiceStats};
 pub use source::{
-    IngestSource, LiveSource, NetSource, NetSourceHandle, SourceClosed, SourcePoll, WorkloadSource,
+    IngestSource, LiveSource, NetSource, NetSourceHandle, SharedSource, SourceClosed, SourcePoll,
+    WorkloadSource,
 };

@@ -359,6 +359,56 @@ impl IngestSource for NetSource {
     }
 }
 
+/// An [`IngestSource`] that survives its consumer: the wrapped source lives
+/// behind a shared lock held only for the duration of a single poll, so a
+/// supervisor can hand a pump thread one clone, catch the pump's panic, and
+/// hand a fresh pump another clone — events still queued inside the source
+/// (for example a [`NetSource`]'s channel backlog) are not lost with the
+/// crashed pump.
+#[derive(Debug)]
+pub struct SharedSource<S: IngestSource> {
+    inner: Arc<std::sync::Mutex<S>>,
+}
+
+impl<S: IngestSource> Clone for SharedSource<S> {
+    fn clone(&self) -> SharedSource<S> {
+        SharedSource {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: IngestSource> SharedSource<S> {
+    /// Wraps `source` for shared cross-restart access.
+    #[must_use]
+    pub fn new(source: S) -> SharedSource<S> {
+        SharedSource {
+            inner: Arc::new(std::sync::Mutex::new(source)),
+        }
+    }
+
+    /// The lock cannot be poisoned by a pump panic in practice — polls do
+    /// not panic and the guard never outlives one call — but a supervisor
+    /// recovering from arbitrary panics must not find its source wedged, so
+    /// poisoning is recovered rather than unwrapped.
+    fn lock(&self) -> std::sync::MutexGuard<'_, S> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<S: IngestSource> IngestSource for SharedSource<S> {
+    fn poll(&mut self) -> SourcePoll {
+        self.lock().poll()
+    }
+
+    fn remaining(&self) -> usize {
+        self.lock().remaining()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +568,31 @@ mod tests {
         );
         assert_eq!(handle.push_advance(Timestamp(1.0)), Err(SourceClosed));
         assert_eq!(handle.pending(), 0, "undelivered events are not counted");
+    }
+
+    #[test]
+    fn shared_source_survives_a_crashed_consumer() {
+        let (handle, source) = NetSource::channel();
+        let shared = SharedSource::new(source);
+        let w = workload();
+        handle
+            .push_event(Timestamp(0.0), Event::TaskArrival(w.tasks[1]))
+            .unwrap();
+        handle
+            .push_event(Timestamp(5.0), Event::TaskArrival(w.tasks[0]))
+            .unwrap();
+        let mut doomed = shared.clone();
+        let crash = std::thread::spawn(move || {
+            assert!(matches!(doomed.poll(), SourcePoll::Ready(t, _) if t.0 == 0.0));
+            panic!("injected pump crash");
+        });
+        assert!(crash.join().is_err());
+        // The second event queued in the channel survives the crash.
+        let mut recovered = shared.clone();
+        assert_eq!(recovered.remaining(), 1);
+        assert!(matches!(recovered.poll(), SourcePoll::Ready(t, _) if t.0 == 5.0));
+        handle.close();
+        assert_eq!(recovered.poll(), SourcePoll::Exhausted);
     }
 
     #[test]

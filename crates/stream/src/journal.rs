@@ -1,0 +1,690 @@
+//! Append-only event journaling and crash recovery for [`Session`]s.
+//!
+//! An [`EventJournal`] records every accepted [`Session::ingest`] call and
+//! every finite [`Session::advance_to`] target, in call order, as
+//! length-prefixed binary records. The record payloads are **byte-identical
+//! to the wire protocol's client event frames** (`PROTOCOL.md` types
+//! `0x02..=0x07`), so a tenant's journal is literally the admitted prefix of
+//! its wire command stream — `datawa-net` pins this equivalence in its codec
+//! tests. Because the engine is bitwise-deterministic over its ingest/advance
+//! call sequence, replaying a journal into a fresh session
+//! ([`Session::recover`]) reproduces the interrupted run's decision stream
+//! exactly, decision for decision, bit for bit.
+//!
+//! Two backends exist, both fsync-free by design (the recovery contract is
+//! "whatever the journal holds replays cleanly", not "every write survives
+//! power loss"): an in-memory byte buffer for supervised in-process restarts
+//! and tests, and an append-only file for recovery across processes. Torn
+//! tails — a record cut mid-length-prefix or mid-payload, the signature of a
+//! crash during append — are silently dropped, yielding the longest clean
+//! prefix; a *complete* record that fails to decode is a typed
+//! [`JournalError::Corrupt`], never a panic.
+//!
+//! [`Session`]: crate::Session
+//! [`Session::ingest`]: crate::Session::ingest
+//! [`Session::advance_to`]: crate::Session::advance_to
+//! [`Session::recover`]: crate::Session::recover
+
+use crate::event::Event;
+use crate::session::{Decision, DecisionSink, IngestError};
+use datawa_core::{
+    AvailabilityWindow, Location, Task, TaskId, Timestamp, Worker, WorkerId, WorkerMode,
+};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Upper bound on a journal record payload, mirroring the wire protocol's
+/// `MAX_FRAME_LEN`. Event records are all under 100 bytes; a larger length
+/// prefix means the byte stream is not a journal.
+pub const MAX_RECORD_LEN: usize = 4096;
+
+// Record type bytes — the wire protocol's client event frame types. Kept
+// numerically identical so journal bytes and wire frame bytes interconvert
+// without translation (pinned by a cross-check test in `datawa-net`).
+const R_TASK_ARRIVAL: u8 = 0x02;
+const R_WORKER_ONLINE: u8 = 0x03;
+const R_TASK_EXPIRATION: u8 = 0x04;
+const R_WORKER_OFFLINE: u8 = 0x05;
+const R_REPLAN_TICK: u8 = 0x06;
+const R_ADVANCE_TO: u8 = 0x07;
+
+/// One replayable session command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// An accepted [`Session::ingest`](crate::Session::ingest) call.
+    Event(Timestamp, Event),
+    /// A finite [`Session::advance_to`](crate::Session::advance_to) target.
+    Advance(Timestamp),
+}
+
+/// Why a journal operation failed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file backend hit an I/O error.
+    Io(std::io::Error),
+    /// A complete record at `offset` failed to decode — the byte stream is
+    /// not (or no longer) a journal. Torn tails are *not* corruption; they
+    /// are dropped silently.
+    Corrupt {
+        /// Byte offset of the record's length prefix.
+        offset: usize,
+        /// What the decoder objected to.
+        what: &'static str,
+    },
+    /// Replaying a decoded record into a fresh session was rejected — the
+    /// journal's command sequence violates the session's time contract,
+    /// which a journal written through [`Session::ingest`](crate::Session::ingest) never does.
+    Replay(IngestError),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Corrupt { offset, what } => {
+                write!(f, "corrupt journal record at byte {offset}: {what}")
+            }
+            JournalError::Replay(e) => write!(f, "journal replay rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+enum Backend {
+    Mem(Vec<u8>),
+    File(std::fs::File),
+}
+
+/// A cloneable handle to one append-only journal. Clones share the backend;
+/// the dispatch pump appends through one clone while the supervisor keeps
+/// another for replay after a crash.
+pub struct EventJournal {
+    backend: Arc<Mutex<Backend>>,
+    records: Arc<AtomicU64>,
+    events: Arc<AtomicU64>,
+}
+
+impl Clone for EventJournal {
+    fn clone(&self) -> EventJournal {
+        EventJournal {
+            backend: Arc::clone(&self.backend),
+            records: Arc::clone(&self.records),
+            events: Arc::clone(&self.events),
+        }
+    }
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("records", &self.record_count())
+            .field("events", &self.event_count())
+            .finish()
+    }
+}
+
+impl EventJournal {
+    /// An empty in-memory journal.
+    #[must_use]
+    pub fn in_memory() -> EventJournal {
+        EventJournal {
+            backend: Arc::new(Mutex::new(Backend::Mem(Vec::new()))),
+            records: Arc::new(AtomicU64::new(0)),
+            events: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A journal over existing bytes (tests and transports use this to
+    /// rebuild a journal from a captured byte stream). Counts cover the
+    /// longest clean record prefix; a torn or corrupt tail surfaces through
+    /// [`EventJournal::recovered_records`].
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> EventJournal {
+        let (mut records, mut events) = (0u64, 0u64);
+        if let Ok((recs, _)) = scan(&bytes) {
+            records = recs.len() as u64;
+            events = recs
+                .iter()
+                .filter(|r| matches!(r, JournalRecord::Event(..)))
+                .count() as u64;
+        }
+        EventJournal {
+            backend: Arc::new(Mutex::new(Backend::Mem(bytes))),
+            records: Arc::new(AtomicU64::new(records)),
+            events: Arc::new(AtomicU64::new(events)),
+        }
+    }
+
+    /// Opens (or creates) a file-backed journal at `path`. An existing
+    /// journal is scanned first: a torn tail from an interrupted append is
+    /// truncated away so new appends extend the clean prefix, and the
+    /// record counters resume from what survived.
+    pub fn file(path: &std::path::Path) -> Result<EventJournal, JournalError> {
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        f.seek(SeekFrom::Start(0))?;
+        f.read_to_end(&mut bytes)?;
+        let (recs, clean_len) = scan(&bytes)?;
+        if clean_len < bytes.len() {
+            f.set_len(clean_len as u64)?;
+        }
+        let events = recs
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::Event(..)))
+            .count() as u64;
+        Ok(EventJournal {
+            backend: Arc::new(Mutex::new(Backend::File(f))),
+            records: Arc::new(AtomicU64::new(recs.len() as u64)),
+            events: Arc::new(AtomicU64::new(events)),
+        })
+    }
+
+    /// Records one accepted ingest. Called by [`Session::ingest`](crate::Session::ingest) *after* validation, so the journal only ever
+    /// holds commands the session admitted.
+    pub fn append_event(&self, time: Timestamp, event: &Event) -> Result<(), JournalError> {
+        self.append(&encode_record(&JournalRecord::Event(time, event.clone())))?;
+        self.events.fetch_add(1, Ordering::SeqCst);
+        self.records.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Records one finite advance target.
+    pub fn append_advance(&self, time: Timestamp) -> Result<(), JournalError> {
+        self.append(&encode_record(&JournalRecord::Advance(time)))?;
+        self.records.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn append(&self, payload: &[u8]) -> Result<(), JournalError> {
+        let mut framed = Vec::with_capacity(4 + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(payload);
+        match &mut *self.lock() {
+            Backend::Mem(buf) => buf.extend_from_slice(&framed),
+            Backend::File(f) => f.write_all(&framed)?,
+        }
+        Ok(())
+    }
+
+    /// Records appended so far (events + advances). This is exactly the
+    /// index into the replayable command sequence, which the wire protocol's
+    /// `ResumeAck` reports back to reconnecting clients.
+    pub fn record_count(&self) -> u64 {
+        self.records.load(Ordering::SeqCst)
+    }
+
+    /// Event records appended so far (excluding advances).
+    pub fn event_count(&self) -> u64 {
+        self.events.load(Ordering::SeqCst)
+    }
+
+    /// Decodes the longest clean record prefix, dropping any torn tail.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the file backend cannot be read;
+    /// [`JournalError::Corrupt`] if a *complete* record fails to decode.
+    pub fn recovered_records(&self) -> Result<Vec<JournalRecord>, JournalError> {
+        let bytes = self.snapshot_bytes()?;
+        let (records, _) = scan(&bytes)?;
+        Ok(records)
+    }
+
+    /// The journal's raw byte stream (for transport or inspection).
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, JournalError> {
+        match &mut *self.lock() {
+            Backend::Mem(buf) => Ok(buf.clone()),
+            Backend::File(f) => {
+                let mut bytes = Vec::new();
+                f.seek(SeekFrom::Start(0))?;
+                f.read_to_end(&mut bytes)?;
+                Ok(bytes)
+            }
+        }
+    }
+
+    /// A panicking pump must not take the journal down with it: the lock is
+    /// recovered from poisoning because appends are single `write_all`/
+    /// `extend_from_slice` calls that never leave the backend half-written
+    /// at this layer (a torn *file* write is exactly what the clean-prefix
+    /// reader tolerates).
+    fn lock(&self) -> MutexGuard<'_, Backend> {
+        match self.backend.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Encodes one record payload (type byte first, length prefix excluded) —
+/// byte-identical to the wire protocol's client frame payloads.
+fn encode_record(record: &JournalRecord) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match record {
+        JournalRecord::Event(time, Event::TaskArrival(task)) => {
+            buf.push(R_TASK_ARRIVAL);
+            put_f64(&mut buf, time.0);
+            buf.extend_from_slice(&task.id.0.to_le_bytes());
+            put_f64(&mut buf, task.location.x);
+            put_f64(&mut buf, task.location.y);
+            put_f64(&mut buf, task.publication.0);
+            put_f64(&mut buf, task.expiration.0);
+        }
+        JournalRecord::Event(time, Event::WorkerOnline(worker)) => {
+            buf.push(R_WORKER_ONLINE);
+            put_f64(&mut buf, time.0);
+            buf.extend_from_slice(&worker.id.0.to_le_bytes());
+            put_f64(&mut buf, worker.location.x);
+            put_f64(&mut buf, worker.location.y);
+            put_f64(&mut buf, worker.reachable_distance);
+            put_f64(&mut buf, worker.window.on.0);
+            put_f64(&mut buf, worker.window.off.0);
+            buf.push(match worker.mode {
+                WorkerMode::Online => 0,
+                WorkerMode::Offline => 1,
+            });
+        }
+        JournalRecord::Event(time, Event::TaskExpiration(task)) => {
+            buf.push(R_TASK_EXPIRATION);
+            put_f64(&mut buf, time.0);
+            buf.extend_from_slice(&task.0.to_le_bytes());
+        }
+        JournalRecord::Event(time, Event::WorkerOffline(worker)) => {
+            buf.push(R_WORKER_OFFLINE);
+            put_f64(&mut buf, time.0);
+            buf.extend_from_slice(&worker.0.to_le_bytes());
+        }
+        JournalRecord::Event(time, Event::ReplanTick) => {
+            buf.push(R_REPLAN_TICK);
+            put_f64(&mut buf, time.0);
+        }
+        JournalRecord::Advance(time) => {
+            buf.push(R_ADVANCE_TO);
+            put_f64(&mut buf, time.0);
+        }
+    }
+    buf
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Sequential record-payload reader (the journal-side twin of the wire
+/// decoder, with the same finiteness discipline).
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], &'static str> {
+        if self.rest.len() < n {
+            return Err("payload shorter than its record layout");
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, &'static str> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, &'static str> {
+        let bytes = self.take(4)?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(bytes);
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn f64(&mut self) -> Result<f64, &'static str> {
+        let bytes = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(f64::from_le_bytes(raw))
+    }
+
+    fn finite(&mut self) -> Result<f64, &'static str> {
+        let v = self.f64()?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err("non-finite float field")
+        }
+    }
+
+    fn finite_or_inf(&mut self) -> Result<f64, &'static str> {
+        let v = self.f64()?;
+        if v.is_finite() || v == f64::INFINITY {
+            Ok(v)
+        } else {
+            Err("NaN or -inf float field")
+        }
+    }
+
+    fn done(self) -> Result<(), &'static str> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err("trailing bytes after record layout")
+        }
+    }
+}
+
+/// Decodes one record payload as produced by `encode_record`.
+fn decode_record(payload: &[u8]) -> Result<JournalRecord, &'static str> {
+    let (&ty, rest) = payload.split_first().ok_or("empty record payload")?;
+    let mut c = Cursor { rest };
+    let record = match ty {
+        R_TASK_ARRIVAL => {
+            let time = Timestamp(c.finite()?);
+            let task = Task {
+                id: TaskId(c.u32()?),
+                location: Location::new(c.finite()?, c.finite()?),
+                publication: Timestamp(c.finite()?),
+                expiration: Timestamp(c.finite_or_inf()?),
+            };
+            JournalRecord::Event(time, Event::TaskArrival(task))
+        }
+        R_WORKER_ONLINE => {
+            let time = Timestamp(c.finite()?);
+            // Struct literal, not `Worker::new`: the constructor
+            // debug-asserts window sanity, and a corrupt journal must decode
+            // to a typed error, never a panic.
+            let worker = Worker {
+                id: WorkerId(c.u32()?),
+                location: Location::new(c.finite()?, c.finite()?),
+                reachable_distance: c.finite()?,
+                window: AvailabilityWindow {
+                    on: Timestamp(c.finite()?),
+                    off: Timestamp(c.finite_or_inf()?),
+                },
+                mode: match c.u8()? {
+                    0 => WorkerMode::Online,
+                    1 => WorkerMode::Offline,
+                    _ => return Err("unknown worker mode"),
+                },
+            };
+            JournalRecord::Event(time, Event::WorkerOnline(worker))
+        }
+        R_TASK_EXPIRATION => JournalRecord::Event(
+            Timestamp(c.finite()?),
+            Event::TaskExpiration(TaskId(c.u32()?)),
+        ),
+        R_WORKER_OFFLINE => JournalRecord::Event(
+            Timestamp(c.finite()?),
+            Event::WorkerOffline(WorkerId(c.u32()?)),
+        ),
+        R_REPLAN_TICK => JournalRecord::Event(Timestamp(c.finite()?), Event::ReplanTick),
+        R_ADVANCE_TO => JournalRecord::Advance(Timestamp(c.finite()?)),
+        _ => return Err("unknown record type byte"),
+    };
+    c.done()?;
+    Ok(record)
+}
+
+/// Walks the byte stream, decoding the longest clean record prefix. Returns
+/// the records and the byte length of that prefix. A tail cut mid-prefix or
+/// mid-payload is a torn write and ends the walk silently; a complete record
+/// that fails to decode is [`JournalError::Corrupt`].
+fn scan(bytes: &[u8]) -> Result<(Vec<JournalRecord>, usize), JournalError> {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= 4 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&bytes[offset..offset + 4]);
+        let len = u32::from_le_bytes(raw) as usize;
+        if !(1..=MAX_RECORD_LEN).contains(&len) {
+            return Err(JournalError::Corrupt {
+                offset,
+                what: "record length outside bounds",
+            });
+        }
+        let start = offset + 4;
+        if bytes.len() - start < len {
+            break; // torn payload: clean prefix ends here
+        }
+        match decode_record(&bytes[start..start + len]) {
+            Ok(record) => records.push(record),
+            Err(what) => return Err(JournalError::Corrupt { offset, what }),
+        }
+        offset = start + len;
+    }
+    Ok((records, offset))
+}
+
+/// A sink adapter that swallows the first `skip` decisions and forwards the
+/// rest — how a recovered pump suppresses the replayed decision prefix its
+/// client already received, so the client-visible stream continues seamlessly
+/// with neither losses nor duplicates.
+#[derive(Debug)]
+pub struct SkipSink<S: DecisionSink> {
+    inner: S,
+    remaining: u64,
+    skipped: u64,
+}
+
+impl<S: DecisionSink> SkipSink<S> {
+    /// Wraps `inner`, suppressing its first `skip` decisions.
+    #[must_use]
+    pub fn new(inner: S, skip: u64) -> SkipSink<S> {
+        SkipSink {
+            inner,
+            remaining: skip,
+            skipped: 0,
+        }
+    }
+
+    /// Decisions suppressed so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Decisions still to be suppressed.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Unwraps the inner sink.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: DecisionSink> DecisionSink for SkipSink<S> {
+    fn emit(&mut self, decision: Decision) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            self.skipped += 1;
+        } else {
+            self.inner.emit(decision);
+        }
+    }
+
+    fn observe_event(&mut self, time: Timestamp, event: &Event) {
+        self.inner.observe_event(time, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::CollectingSink;
+
+    fn task(id: u32, p: f64, e: f64) -> Task {
+        Task::new(
+            TaskId(id),
+            Location::new(1.5, -2.25),
+            Timestamp(p),
+            Timestamp(e),
+        )
+    }
+
+    fn worker(id: u32, on: f64, off: f64) -> Worker {
+        Worker::new(
+            WorkerId(id),
+            Location::new(0.5, 0.25),
+            4.0,
+            Timestamp(on),
+            Timestamp(off),
+        )
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Event(Timestamp(0.0), Event::WorkerOnline(worker(3, 0.0, 90.0))),
+            JournalRecord::Advance(Timestamp(0.5)),
+            JournalRecord::Event(Timestamp(1.0), Event::TaskArrival(task(7, 1.0, 9.5))),
+            JournalRecord::Event(Timestamp(2.0), Event::ReplanTick),
+            JournalRecord::Event(Timestamp(3.0), Event::TaskExpiration(TaskId(7))),
+            JournalRecord::Event(Timestamp(4.0), Event::WorkerOffline(WorkerId(3))),
+            JournalRecord::Advance(Timestamp(5.0)),
+        ]
+    }
+
+    fn journal_with(records: &[JournalRecord]) -> EventJournal {
+        let j = EventJournal::in_memory();
+        for r in records {
+            match r {
+                JournalRecord::Event(t, e) => j.append_event(*t, e).unwrap(),
+                JournalRecord::Advance(t) => j.append_advance(*t).unwrap(),
+            }
+        }
+        j
+    }
+
+    #[test]
+    fn records_round_trip_bitwise() {
+        for record in sample_records() {
+            let payload = encode_record(&record);
+            let back = decode_record(&payload).expect("decode own encoding");
+            assert_eq!(back, record);
+            assert_eq!(encode_record(&back), payload, "re-encode is byte-identical");
+        }
+    }
+
+    #[test]
+    fn append_then_recover_preserves_order_and_counts() {
+        let records = sample_records();
+        let j = journal_with(&records);
+        assert_eq!(j.record_count(), 7);
+        assert_eq!(j.event_count(), 5);
+        assert_eq!(j.recovered_records().unwrap(), records);
+        // A clone shares the backend and the counters.
+        let clone = j.clone();
+        clone.append_advance(Timestamp(6.0)).unwrap();
+        assert_eq!(j.record_count(), 8);
+    }
+
+    #[test]
+    fn torn_tail_yields_the_clean_prefix() {
+        let records = sample_records();
+        let full = journal_with(&records).snapshot_bytes().unwrap();
+        // Every strictly-shorter truncation either drops whole records or
+        // tears the last one; the reader must return the clean prefix.
+        for cut in 0..full.len() {
+            let j = EventJournal::from_bytes(full[..cut].to_vec());
+            let recovered = j.recovered_records().expect("truncation never corrupts");
+            assert!(recovered.len() <= records.len());
+            assert_eq!(
+                &records[..recovered.len()],
+                &recovered[..],
+                "prefix at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_complete_records_surface_typed_errors() {
+        let j = journal_with(&sample_records());
+        let mut bytes = j.snapshot_bytes().unwrap();
+        // Overwrite the first record's type byte (offset 4, after the length
+        // prefix) with an unknown type: a complete-but-undecodable record.
+        bytes[4] = 0x7e;
+        let err = EventJournal::from_bytes(bytes)
+            .recovered_records()
+            .unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { offset: 0, .. }),
+            "got {err}"
+        );
+
+        // A hostile length prefix is corruption, not a torn tail.
+        let mut huge = j.snapshot_bytes().unwrap();
+        huge[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let err = EventJournal::from_bytes(huge)
+            .recovered_records()
+            .unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt { offset: 0, .. }));
+    }
+
+    #[test]
+    fn file_backend_persists_and_truncates_torn_tails() {
+        let path = std::env::temp_dir().join(format!(
+            "datawa-journal-test-{}-file-backend.bin",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let records = sample_records();
+        {
+            let j = EventJournal::file(&path).unwrap();
+            for r in &records {
+                match r {
+                    JournalRecord::Event(t, e) => j.append_event(*t, e).unwrap(),
+                    JournalRecord::Advance(t) => j.append_advance(*t).unwrap(),
+                }
+            }
+        }
+        // Simulate a crash mid-append: chop the last three bytes.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+
+        let j = EventJournal::file(&path).unwrap();
+        let recovered = j.recovered_records().unwrap();
+        assert_eq!(recovered.len(), records.len() - 1, "torn record dropped");
+        assert_eq!(&records[..recovered.len()], &recovered[..]);
+        // The torn tail was truncated away, so appends extend a clean file.
+        j.append_advance(Timestamp(99.0)).unwrap();
+        let again = EventJournal::file(&path).unwrap();
+        assert_eq!(again.record_count(), records.len() as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn skip_sink_swallows_exactly_the_prefix() {
+        let mut sink = SkipSink::new(CollectingSink::new(), 2);
+        for i in 0..5 {
+            sink.emit(Decision::TaskExpired {
+                at: Timestamp(i as f64),
+                task: TaskId(i),
+            });
+        }
+        assert_eq!(sink.skipped(), 2);
+        assert_eq!(sink.remaining(), 0);
+        let decisions = sink.into_inner().into_decisions();
+        assert_eq!(decisions.len(), 3);
+        assert_eq!(
+            decisions[0].at(),
+            Timestamp(2.0),
+            "prefix suppressed in order"
+        );
+    }
+}

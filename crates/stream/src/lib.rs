@@ -156,6 +156,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod journal;
 pub mod scenario;
 pub mod session;
 pub mod shard;
@@ -164,6 +165,7 @@ pub use engine::{
     run_workload, run_workload_forecast, EngineConfig, EngineOutcome, EngineStats, StreamEngine,
 };
 pub use event::{Event, EventQueue, ScheduledEvent};
+pub use journal::{EventJournal, JournalError, JournalRecord, SkipSink};
 pub use scenario::{
     builtin_scenarios, HeavyTailedChurn, HotspotDrift, RushHourBurst, ScenarioGenerator,
     ScenarioSpec, UniformBaseline, Workload,

@@ -25,6 +25,7 @@
 
 use crate::engine::{arrival_triggers_replan, EngineConfig, EngineOutcome, EngineStats};
 use crate::event::{Event, EventQueue, ScheduledEvent};
+use crate::journal::{EventJournal, JournalError, JournalRecord};
 use crate::scenario::Workload;
 use datawa_assign::{AdaptiveRunner, ForecastProvider, ForecastStats, RunnerState};
 use datawa_core::{Duration, TaskId, Timestamp, WorkerId};
@@ -228,6 +229,10 @@ pub enum IngestError {
         /// How far the session has advanced.
         watermark: Timestamp,
     },
+    /// The attached [`EventJournal`] failed to record the event (file-backend
+    /// I/O failure); the event was **not** ingested, so journal and session
+    /// cannot diverge.
+    JournalAppend,
 }
 
 impl std::fmt::Display for IngestError {
@@ -239,6 +244,10 @@ impl std::fmt::Display for IngestError {
             IngestError::BehindWatermark { time, watermark } => write!(
                 f,
                 "cannot ingest an event at {time}: the session already advanced to {watermark}"
+            ),
+            IngestError::JournalAppend => write!(
+                f,
+                "the attached journal failed to record the event; it was not ingested"
             ),
         }
     }
@@ -305,6 +314,9 @@ pub struct Session<'a, F: ForecastProvider + ?Sized = dyn ForecastProvider + 'a>
     dispatches_emitted: usize,
     obs: MetricsRegistry,
     metrics: StreamMetrics,
+    /// When attached, every accepted ingest and finite advance target is
+    /// recorded for crash recovery (see [`Session::recover`]).
+    journal: Option<EventJournal>,
 }
 
 /// Pre-resolved stream-layer handles into the session's registry (see the
@@ -391,7 +403,61 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
             dispatches_emitted: 0,
             obs: registry.clone(),
             metrics: StreamMetrics::register(registry),
+            journal: None,
         }
+    }
+
+    /// Attaches `journal`: every subsequently accepted [`Session::ingest`]
+    /// and every finite [`Session::advance_to`] target is appended, in call
+    /// order, so an interrupted session can be rebuilt bit-for-bit by
+    /// [`Session::recover`]. Appends happen *before* the session mutates, and
+    /// an append failure rejects the ingest — journal and session cannot
+    /// diverge.
+    pub fn attach_journal(&mut self, journal: EventJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&EventJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Rebuilds an interrupted session from its journal: opens a fresh
+    /// session, replays every recorded ingest and advance in order (emitting
+    /// the reproduced decision prefix to `sink` — wrap it in
+    /// [`SkipSink`](crate::SkipSink) to suppress decisions a consumer
+    /// already received), then re-attaches the journal so the recovered
+    /// session keeps recording. Because the engine is deterministic over its
+    /// command sequence, the recovered session is bitwise identical to the
+    /// uninterrupted one — same pending queue, same watermark, same armed
+    /// tick, same planning state (pinned by `tests/chaos_recovery.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JournalError`] from reading the journal; a record the
+    /// fresh session rejects (impossible for a journal written through
+    /// `ingest`) surfaces as [`JournalError::Replay`].
+    pub fn recover(
+        runner: &'a AdaptiveRunner,
+        forecast: &'a mut F,
+        config: EngineConfig,
+        journal: EventJournal,
+        sink: &mut dyn DecisionSink,
+    ) -> Result<Session<'a, F>, JournalError> {
+        let records = journal.recovered_records()?;
+        let mut session = Session::open(runner, forecast, config);
+        for record in records {
+            match record {
+                JournalRecord::Event(time, event) => {
+                    session.ingest(time, event).map_err(JournalError::Replay)?;
+                }
+                JournalRecord::Advance(time) => {
+                    session.advance_to(time, sink);
+                }
+            }
+        }
+        session.journal = Some(journal);
+        Ok(session)
     }
 
     /// The observability registry this session records into (detached unless
@@ -489,6 +555,11 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
                 watermark: self.watermark,
             });
         }
+        if let Some(journal) = &self.journal {
+            if journal.append_event(time, &event).is_err() {
+                return Err(IngestError::JournalAppend);
+            }
+        }
         self.queue.push(time, event);
         self.metrics.ingested_events.inc();
         self.metrics.queue_depth.set(self.queue.len() as i64);
@@ -518,6 +589,17 @@ impl<'a, F: ForecastProvider + ?Sized> Session<'a, F> {
     /// class, ingest order)` order, and emitting decisions to `sink` as they
     /// are made. Returns the number of events processed by this call.
     pub fn advance_to(&mut self, target: Timestamp, sink: &mut dyn DecisionSink) -> usize {
+        // Journal the advance before any event fires so replay issues the
+        // identical call sequence. Only finite targets are recorded: the
+        // close-time drain to +inf must not poison a recovered session's
+        // watermark. A failed append (file I/O) is best-effort here — the
+        // in-memory backend cannot fail, and advance targets are
+        // reconstructible from the admission protocol if a file write drops.
+        if target.is_finite() {
+            if let Some(journal) = &self.journal {
+                let _ = journal.append_advance(target);
+            }
+        }
         self.arm_tick();
         let mut processed = 0usize;
         loop {
@@ -886,6 +968,68 @@ mod tests {
             2 + 1 + outcome.stats.expired_open,
             "every post-disconnect decision was counted"
         );
+    }
+
+    #[test]
+    fn journaled_session_recovers_bitwise() {
+        use crate::journal::EventJournal;
+
+        let r = runner(PolicyKind::Dta);
+        let journal = EventJournal::in_memory();
+
+        // Uninterrupted reference run.
+        let mut ref_sink = CollectingSink::new();
+        let mut ref_forecast = StaticForecast::default();
+        let mut reference = Session::open(&r, &mut ref_forecast, EngineConfig::ticked(2.0));
+
+        // Journaled run, "crashed" after the first advance.
+        let mut live_sink = CollectingSink::new();
+        let mut live_forecast = StaticForecast::default();
+        let mut live = Session::open(&r, &mut live_forecast, EngineConfig::ticked(2.0));
+        live.attach_journal(journal.clone());
+
+        let w = Event::WorkerOnline(worker(0.0, 0.0, 100.0, 5.0));
+        let t1 = Event::TaskArrival(task(1.0, 1.0, 50.0));
+        let t2 = Event::TaskArrival(task(2.0, 6.0, 60.0));
+        for (time, event) in [(0.0, w.clone()), (1.0, t1.clone())] {
+            live.ingest(Timestamp(time), event.clone()).unwrap();
+            reference.ingest(Timestamp(time), event).unwrap();
+        }
+        live.advance_to(Timestamp(5.0), &mut live_sink);
+        reference.advance_to(Timestamp(5.0), &mut ref_sink);
+        drop(live); // the crash: session lost, journal survives
+
+        // Recovery replays the prefix; skip what the consumer already saw.
+        let mut rec_forecast = StaticForecast::default();
+        let mut replay_sink = CollectingSink::new();
+        let mut recovered = Session::recover(
+            &r,
+            &mut rec_forecast,
+            EngineConfig::ticked(2.0),
+            journal,
+            &mut replay_sink,
+        )
+        .unwrap();
+        assert_eq!(
+            replay_sink.decisions(),
+            live_sink.decisions(),
+            "replay reproduces the emitted prefix bitwise"
+        );
+        assert_eq!(recovered.now(), Timestamp(5.0));
+        assert_eq!(recovered.pending(), reference.pending());
+
+        // Both runs continue identically.
+        recovered.ingest(Timestamp(6.0), t2.clone()).unwrap();
+        reference.ingest(Timestamp(6.0), t2).unwrap();
+        let rec_out = recovered.close(&mut replay_sink);
+        let ref_out = reference.close(&mut ref_sink);
+        assert_eq!(replay_sink.decisions(), ref_sink.decisions());
+        assert_eq!(rec_out.run.assigned_tasks, ref_out.run.assigned_tasks);
+        assert_eq!(
+            rec_out.stats.events_processed,
+            ref_out.stats.events_processed
+        );
+        assert_eq!(rec_out.stats.replan_ticks, ref_out.stats.replan_ticks);
     }
 
     #[test]
